@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 22 — design-space exploration: DIMMs per channel (EXMA vs
+ * MEDAL), PE-array count, CAM scheduling-queue entries, and base-cache
+ * capacity; throughput normalised to the baseline EXMA configuration
+ * (3 DIMMs, 4 arrays, 512 entries, 1 MB).
+ */
+
+#include "bench_util.hh"
+
+using namespace exma;
+
+namespace {
+
+double
+runExma(const ExmaTable &table,
+        const std::vector<std::vector<Base>> &queries,
+        int dimms, int pe_arrays, u64 cam, u64 base_cache)
+{
+    AcceleratorConfig cfg;
+    cfg.pe_arrays = pe_arrays;
+    cfg.cam_entries = cam;
+    cfg.base_cache_bytes = base_cache;
+    DramConfig dram = DramConfig::ddr4_2400();
+    dram.dimms_per_channel = dimms;
+    dram.page_policy = PagePolicy::Dynamic;
+    ExmaAccelerator accel(table, cfg, dram);
+    return accel.run(queries).mbasesPerSecond();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 22", "design space exploration (norm. to EXMA "
+                             "baseline config)");
+    const Dataset &ds = bench::dataset("pinus");
+    const ExmaTable &table = bench::exmaTable("pinus", OccIndexMode::Mtl);
+    auto queries = bench::patterns(
+        ds, static_cast<u64>(400.0 * bench::scale() * 4.0));
+
+    const double baseline =
+        runExma(table, queries, 3, 4, 512, 1 << 20);
+    TextTable t;
+    t.header({"knob", "value", "norm. throughput"});
+
+    // DIMM count: EXMA scales with channel capacity; MEDAL is
+    // address-bus limited and gains little.
+    const u64 medal_fp = std::max<u64>(
+        u64{1} << 22, static_cast<u64>(ds.ref.size()) * 5);
+    double medal_base = 0.0;
+    for (int dimms : {2, 3, 4}) {
+        const double v =
+            runExma(table, queries, dimms, 4, 512, 1 << 20);
+        t.row({"DIMMs (EXMA)", std::to_string(dimms) + "D",
+               TextTable::num(v / baseline, 2)});
+        ChainSpec medal = medalSpec(medal_fp);
+        medal.iterations = 15000;
+        DramConfig mem = DramConfig::ddr4_2400();
+        mem.dimms_per_channel = dimms;
+        const double mv = runChainWorkload(medal, mem).mbasesPerSecond();
+        if (dimms == 3)
+            medal_base = mv;
+        t.row({"DIMMs (MEDAL)", std::to_string(dimms) + "D",
+               TextTable::num(mv / baseline, 2)});
+    }
+    (void)medal_base;
+
+    for (int arrays : {2, 4, 8})
+        t.row({"PE arrays", std::to_string(arrays) + "A",
+               TextTable::num(runExma(table, queries, 3, arrays, 512,
+                                      1 << 20) /
+                                  baseline,
+                              2)});
+
+    for (u64 cam : {u64{256}, u64{512}, u64{1024}})
+        t.row({"CAM entries", std::to_string(cam) + "E",
+               TextTable::num(runExma(table, queries, 3, 4, cam,
+                                      1 << 20) /
+                                  baseline,
+                              2)});
+
+    for (u64 cache : {u64{512} << 10, u64{1} << 20, u64{2} << 20})
+        t.row({"base cache", TextTable::bytes(static_cast<double>(cache)),
+               TextTable::num(runExma(table, queries, 3, 4, 512, cache) /
+                                  baseline,
+                              2)});
+
+    t.print(std::cout);
+    std::cout << "\npaper: 2 DIMMs = EXMA +29% over MEDAL; 3 DIMMs "
+                 "+40% for EXMA vs +14.5% for MEDAL; 2 PE arrays reach "
+                 "89% of 4; 256-entry CAM reaches 77% of 512; 1MB base "
+                 "cache saturates throughput.\n";
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * google-benchmark microkernels for the software layers: suffix-array
+ * construction, FM-Index search, k-step/EXMA search, LISA search, and
+ * the CHAIN/B∆I codecs. Complements the figure harnesses with
+ * wall-clock numbers for the library itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "compress/bdi.hh"
+#include "compress/chain.hh"
+#include "core/exma_table.hh"
+#include "fmindex/fm_index.hh"
+#include "fmindex/suffix_array.hh"
+#include "genome/reads.hh"
+#include "genome/reference.hh"
+#include "lisa/lisa.hh"
+
+namespace {
+
+using namespace exma;
+
+const std::vector<Base> &
+microRef()
+{
+    static const std::vector<Base> ref = [] {
+        ReferenceSpec spec;
+        spec.length = 1 << 20;
+        spec.seed = 3;
+        return generateReference(spec);
+    }();
+    return ref;
+}
+
+void
+BM_SuffixArray(benchmark::State &state)
+{
+    std::vector<Base> ref(microRef().begin(),
+                          microRef().begin() + state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildSuffixArray(ref));
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SuffixArray)->Arg(1 << 16)->Arg(1 << 18)->Arg(1 << 20);
+
+void
+BM_FmIndexSearch(benchmark::State &state)
+{
+    static const FmIndex fm(microRef());
+    auto pats = samplePatterns(microRef(), 256,
+                               static_cast<u64>(state.range(0)), 7);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fm.search(pats[i % pats.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FmIndexSearch)->Arg(32)->Arg(101);
+
+void
+BM_ExmaSearch(benchmark::State &state)
+{
+    static const ExmaTable table = [] {
+        ExmaTable::Config cfg;
+        cfg.k = 8;
+        cfg.mode = OccIndexMode::Mtl;
+        cfg.mtl.epochs = 30;
+        return ExmaTable(microRef(), cfg);
+    }();
+    auto pats = samplePatterns(microRef(), 256, 101, 9);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.search(pats[i % pats.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * 101);
+}
+BENCHMARK(BM_ExmaSearch);
+
+void
+BM_LisaSearch(benchmark::State &state)
+{
+    static const IpBwt ipbwt(microRef(), 10);
+    static const Lisa lisa(ipbwt, Lisa::Config{});
+    auto pats = samplePatterns(microRef(), 256, 101, 11);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lisa.search(pats[i % pats.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations() * 101);
+}
+BENCHMARK(BM_LisaSearch);
+
+void
+BM_ChainCompress(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<u32> vals;
+    u32 v = 0;
+    for (int i = 0; i < 1 << 16; ++i)
+        vals.push_back(v += static_cast<u32>(1 + rng.below(100)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chainCompressedSize(vals));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<i64>(vals.size() * 4));
+}
+BENCHMARK(BM_ChainCompress);
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<u8> data(1 << 18);
+    for (auto &b : data)
+        b = static_cast<u8>(rng.below(4)); // compressible-ish
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bdiCompressedSize(data));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<i64>(data.size()));
+}
+BENCHMARK(BM_BdiCompress);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table I — the EXMA accelerator's hardware configuration: component
+ * inventory with area/energy, plus a sanity run proving the modelled
+ * energies are the ones the simulator charges.
+ */
+
+#include "bench_util.hh"
+
+using namespace exma;
+
+int
+main()
+{
+    bench::banner("Table I", "hardware configuration of EXMA");
+
+    AcceleratorConfig cfg;
+    TextTable t;
+    t.header({"component", "description", "area (mm2)", "energy/op (pJ)"});
+    t.row({"Infer. engine", "4 8x8 PE arrays", "0.512",
+           TextTable::num(cfg.infer_pj, 2)});
+    t.row({"Sch. queue", "SRAM CAM, 128-bit x 512", "0.023",
+           TextTable::num(cfg.cam_pj, 2)});
+    t.row({"Index cache", "SRAM, 32KB, 16-way", "0.084",
+           TextTable::num(cfg.index_cache_pj, 2)});
+    t.row({"Base cache", "eDRAM, 1MB, 8-way", "0.667",
+           TextTable::num(cfg.base_cache_pj, 2)});
+    t.row({"De/compress", "32 64-bit adders", "0.091",
+           TextTable::num(cfg.decompress_pj, 2)});
+    t.row({"Sch. & row", "2-stage sch. & dyn. page", "0.035",
+           TextTable::num(cfg.sched_pj, 2)});
+    t.row({"DMA ctrl", "adopted from [52]", "0.21",
+           TextTable::num(cfg.dma_pj, 2)});
+    t.print(std::cout);
+    std::cout << "\naccelerator total: area 1.62 mm2, leakage "
+              << TextTable::num(cfg.leakage_mw, 1) << " mW @ "
+              << TextTable::num(cfg.clock_mhz, 0) << " MHz\n";
+
+    DramConfig mem = DramConfig::ddr4_2400();
+    std::cout << "\nDRAM main memory: DDR4-2400, " << mem.channels
+              << " channels, " << mem.dimms_per_channel
+              << " DIMMs/channel, " << mem.ranks_per_dimm
+              << " ranks/DIMM, " << mem.bankgroups_per_rank
+              << " bank groups/rank, " << mem.banks_per_bankgroup
+              << " banks/bank group, " << mem.chips_per_rank
+              << " chips/rank, row " << mem.row_bytes << "B, tRCD-tCAS-tRP "
+              << mem.tRCD << "-" << mem.tCL << "-" << mem.tRP << "\n";
+    std::cout << "peak bandwidth: "
+              << TextTable::num(mem.peakBw() / 1e9, 1) << " GB/s\n";
+
+    // Sanity: a tiny accelerator run charges exactly these energies.
+    const ExmaTable &table = bench::exmaTable("human", OccIndexMode::Mtl);
+    const Dataset &ds = bench::dataset("human");
+    ExmaAccelerator accel(table, cfg, mem);
+    auto r = accel.run(bench::patterns(ds, 50));
+    std::cout << "\nsanity run: " << r.queries << " queries, "
+              << TextTable::num(r.mbasesPerSecond(), 1)
+              << " Mbase/s, accelerator power "
+              << TextTable::num(r.accelPowerW(), 3) << " W (paper: ~0.89 W "
+              << "when active)\n";
+    return 0;
+}

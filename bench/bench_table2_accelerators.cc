@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table II — comparison of FM-Index accelerators processing pinus:
+ * algorithm, memory, accelerator power, memory power, Mbase/s and
+ * Mbase/s/W for GPU, FPGA, ASIC, MEDAL, FindeR and EXMA.
+ */
+
+#include "bench_util.hh"
+
+#include "fmindex/size_model.hh"
+
+using namespace exma;
+
+int
+main()
+{
+    bench::banner("Table II", "accelerator comparison on pinus");
+    const Dataset &ds = bench::dataset("pinus");
+    const auto &lm = bench::lisaMeasurement("pinus");
+    const u64 footprint = std::max<u64>(
+        u64{1} << 22, static_cast<u64>(ds.ref.size()) * 5);
+    const DramConfig mem = DramConfig::ddr4_2400();
+
+    struct Row
+    {
+        std::string name;
+        std::string algo;
+        DeviceResult r;
+    };
+    std::vector<Row> rows;
+
+    {
+        ChainSpec gpu = gpuLisaSpec(footprint, ds.lisa_k, lm.extra_lines);
+        gpu.iterations = 20000;
+        rows.push_back({"GPU", "LISA-" + std::to_string(ds.lisa_k),
+                        runChainWorkload(gpu, mem)});
+    }
+    {
+        ChainSpec fpga = fpgaFm2Spec(footprint);
+        fpga.iterations = 20000;
+        rows.push_back({"FPGA [30]", "FM-2", runChainWorkload(fpga, mem)});
+    }
+    {
+        ChainSpec asic = asicFm1Spec(footprint);
+        asic.iterations = 10000;
+        rows.push_back({"ASIC [37]", "FM-1", runChainWorkload(asic, mem)});
+    }
+    {
+        ChainSpec medal = medalSpec(footprint);
+        medal.iterations = 60000;
+        rows.push_back({"MEDAL [15]", "FM-1",
+                        runChainWorkload(medal, mem)});
+    }
+    {
+        // FindeR: 2.6 GB ReRAM of a 31 GB dataset (paper ratio).
+        const u64 internal = static_cast<u64>(
+            static_cast<double>(footprint) * 2.6 / 31.0);
+        ChainSpec finder = finderSpec(footprint, internal);
+        finder.iterations = 20000;
+        rows.push_back({"FindeR [14]", "FM-1",
+                        runChainWorkload(finder, mem)});
+    }
+
+    // EXMA: the real accelerator simulation.
+    auto exma = bench::exmaAccelRun("pinus", true, PagePolicy::Dynamic);
+
+    TextTable t;
+    t.header({"device", "algorithm", "acc W", "mem W", "Mbase/s",
+              "Mbase/s/W", "BW util %"});
+    double medal_mb = 1.0, medal_mbw = 1.0;
+    for (const auto &row : rows) {
+        if (row.name.rfind("MEDAL", 0) == 0) {
+            medal_mb = row.r.mbasesPerSecond();
+            medal_mbw = row.r.mbasesPerWatt();
+        }
+        t.row({row.name, row.algo,
+               TextTable::num(row.r.acc_power_w, 3),
+               TextTable::num(row.r.mem_power_w, 1),
+               TextTable::num(row.r.mbasesPerSecond(), 1),
+               TextTable::num(row.r.mbasesPerWatt(), 2),
+               TextTable::num(100 * row.r.bw_util, 1)});
+    }
+    const double exma_w = exma.accelPowerW();
+    const double exma_mem_w = exma.dram_energy.avg_power_w;
+    const double exma_mb = exma.mbasesPerSecond();
+    const double exma_mbw = exma_mb / (exma_w + exma_mem_w);
+    t.row({"EXMA", "EXMA-" + std::to_string(ds.exma_k),
+           TextTable::num(exma_w, 3), TextTable::num(exma_mem_w, 1),
+           TextTable::num(exma_mb, 1), TextTable::num(exma_mbw, 2),
+           TextTable::num(100 * exma.bandwidth_utilization, 1)});
+    t.print(std::cout);
+
+    std::cout << "\nEXMA vs MEDAL: throughput "
+              << TextTable::num(exma_mb / medal_mb, 2)
+              << "x (paper: 4.9x), throughput/W "
+              << TextTable::num(exma_mbw / medal_mbw, 2)
+              << "x (paper: 4.8x)\n";
+    std::cout << "memory capacity modelled (paper scale): "
+              << TextTable::bytes(exmaSizeBytes(31000000000ULL, 15).total())
+              << " EXMA table in a 384GB system.\n";
+    return 0;
+}

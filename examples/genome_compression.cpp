@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reference-based compression example (the paper's "compress"
+ * workload): factor a resequenced individual against a reference via
+ * FM-Index longest-match parsing, verify the round trip, and show the
+ * CHAIN/B∆I codec ratios on the EXMA table itself.
+ *
+ *   ./examples/genome_compression [genome_length] [snp_rate_per_kb]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "apps/compressor.hh"
+#include "common/rng.hh"
+#include "compress/bdi.hh"
+#include "compress/chain.hh"
+#include "core/exma_table.hh"
+#include "genome/reference.hh"
+
+using namespace exma;
+
+int
+main(int argc, char **argv)
+{
+    const u64 len = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                             : (1u << 20);
+    const double snp_per_kb =
+        argc > 2 ? std::atof(argv[2]) : 1.0; // ~0.1% human variation
+
+    ReferenceSpec spec;
+    spec.length = len;
+    auto ref = generateReference(spec);
+    FmIndex fm(ref);
+
+    // A "resequenced individual": the reference plus point variants.
+    std::vector<Base> target = ref;
+    Rng rng(2024);
+    const u64 n_snps = static_cast<u64>(
+        snp_per_kb * static_cast<double>(len) / 1000.0);
+    for (u64 s = 0; s < n_snps; ++s) {
+        const u64 pos = rng.below(target.size());
+        target[pos] = static_cast<Base>((target[pos] + 1) & 3);
+    }
+
+    std::cout << "compressing a " << len << " bp individual with "
+              << n_snps << " SNPs against the reference...\n";
+    std::vector<u8> blob;
+    auto res = compressWithBlob(fm, target, blob);
+    std::cout << "  copy tokens: " << res.copy_tokens
+              << ", literals: " << res.literal_bases << "\n"
+              << "  compressed: " << res.compressed_bytes << " bytes ("
+              << 100.0 * res.ratio() << "% of input)\n";
+
+    std::cout << "verifying round trip... ";
+    const bool ok = decompressTokens(ref, blob) == target;
+    std::cout << (ok ? "OK" : "MISMATCH") << "\n";
+
+    // CHAIN vs B∆I on the EXMA table of this genome.
+    ExmaTable::Config cfg;
+    cfg.k = 8;
+    cfg.mode = OccIndexMode::Exact;
+    ExmaTable table(ref, cfg);
+    auto sizes = table.sizeReport();
+    const auto &inc = table.occTable().allIncrements();
+    std::vector<u8> raw(inc.size() * 4);
+    std::memcpy(raw.data(), inc.data(), raw.size());
+    std::cout << "\nEXMA increments (" << raw.size() / 1024
+              << " KB): CHAIN -> "
+              << 100.0 * static_cast<double>(sizes.increments_chain) /
+                     static_cast<double>(sizes.increments_raw)
+              << "%, B∆I -> " << 100.0 * bdiCompressRatio(raw)
+              << "%  (the paper's Fig. 17/23 point: sorted data favours "
+                 "delta chains)\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,293 @@
+#include "accel/accelerator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "compress/chain.hh"
+
+namespace exma {
+
+ExmaAccelerator::ExmaAccelerator(const ExmaTable &table,
+                                 const AcceleratorConfig &cfg,
+                                 const DramConfig &dram_cfg)
+    : table_(table), cfg_(cfg), dram_cfg_(dram_cfg),
+      base_cache_(cfg.base_cache_bytes, cfg.base_cache_ways),
+      index_cache_(cfg.index_cache_bytes, cfg.index_cache_ways)
+{
+    dram_ = std::make_unique<DramSystem>(eq_, dram_cfg_);
+    engine_free_.assign(static_cast<size_t>(cfg.pe_arrays), 0);
+
+    // Memory image layout: bases | increments | MTL roots | MTL leaves.
+    const auto sizes = table.sizeReport();
+    incr_region_ = sizes.bases_raw;
+    if (cfg.chain_compression) {
+        bytes_per_value_ =
+            4.0 * static_cast<double>(sizes.increments_chain) /
+            std::max<double>(1.0, static_cast<double>(sizes.increments_raw));
+        index_region_ = incr_region_ + sizes.increments_chain;
+    } else {
+        bytes_per_value_ = 4.0;
+        index_region_ = incr_region_ + sizes.increments_raw;
+    }
+    leaf_region_ = index_region_ + 64 * MtlIndex::kNumClasses;
+}
+
+void
+ExmaAccelerator::admitQueries()
+{
+    // Each active query holds at most two CAM entries (the low/high
+    // requests of its current iteration).
+    const u64 max_active = std::max<u64>(1, cfg_.cam_entries / 2);
+    while (!waiting_.empty() && active_queries_ < max_active) {
+        QueryState *q = waiting_.front();
+        waiting_.pop_front();
+        ++active_queries_;
+        if (q->trace.empty()) {
+            // Degenerate query (shorter than k): counts as processed.
+            result_.bases += q->bases;
+            ++result_.queries;
+            --active_queries_;
+            continue;
+        }
+        const ExmaTable::IterTrace &it = q->trace[q->iter];
+        q->outstanding = 2;
+        for (bool high : {false, true}) {
+            Request r{q, &it, high};
+            ++n_cam_;
+            ++in_queue_;
+            if (cfg_.two_stage_scheduling) {
+                const u64 pos = high ? it.pos_high : it.pos_low;
+                sorted_ready_.emplace(std::make_pair(it.kmer, pos), r);
+            } else {
+                fifo_ready_.push_back(r);
+            }
+        }
+    }
+    pumpDispatch();
+}
+
+void
+ExmaAccelerator::pumpDispatch()
+{
+    // The DMA engine bounds how many requests are past dispatch at
+    // once; the CAM therefore holds a backlog the 2-stage scheduler
+    // can actually reorder (its whole point, §IV.C.2).
+    if (dispatch_pending_ || in_queue_ == 0 ||
+        inflight_ >= cfg_.max_inflight)
+        return;
+    dispatch_pending_ = true;
+    // One CAM dispatch per accelerator cycle.
+    eq_.scheduleAfter(cycles(1), [this] {
+        dispatch_pending_ = false;
+        if (in_queue_ == 0 || inflight_ >= cfg_.max_inflight)
+            return;
+        Request r;
+        if (cfg_.two_stage_scheduling) {
+            if (batch_.empty()) {
+                // Snapshot the CAM contents in (k-mer, pos) order —
+                // the 2-stage sort — and drain it as one batch.
+                for (auto &[key, req] : sorted_ready_)
+                    batch_.push_back(req);
+                sorted_ready_.clear();
+            }
+            r = batch_.front();
+            batch_.pop_front();
+        } else {
+            r = fifo_ready_.front();
+            fifo_ready_.pop_front();
+        }
+        --in_queue_;
+        ++inflight_;
+        dispatch(r);
+        pumpDispatch();
+    });
+}
+
+void
+ExmaAccelerator::dispatch(Request req)
+{
+    // Stage ❷/❸: base lookup through the base cache.
+    ++n_base_acc_;
+    const u64 base_addr = req.it->kmer * 4;
+    if (base_cache_.access(base_addr)) {
+        eq_.scheduleAfter(cycles(2),
+                          [this, req] { stageIndex(req); });
+    } else {
+        ++n_dma_;
+        dram_->access(base_addr, false,
+                      [this, req](Tick) { stageIndex(req); });
+    }
+}
+
+void
+ExmaAccelerator::stageIndex(Request req)
+{
+    // Stage ❹/❺: fetch the MTL nodes (shared class root + leaf line).
+    const IndexLookup &lk = lookupOf(req);
+    if (!lk.used_model) {
+        // Below-threshold k-mer: no model; binary search happens in the
+        // increments stage directly.
+        stageIncrements(req);
+        return;
+    }
+    const u64 root_addr =
+        index_region_ + static_cast<u64>(std::max(lk.cls, 0)) * 64;
+    const u64 leaf_addr = leaf_region_ + lk.leaf_id * 2; // 8-bit params
+    n_index_acc_ += 2;
+    const bool root_hit = index_cache_.access(root_addr);
+    const bool leaf_hit = index_cache_.access(leaf_addr);
+    if (root_hit && leaf_hit) {
+        eq_.scheduleAfter(cycles(1), [this, req] { stageInfer(req); });
+        return;
+    }
+    // Fetch misses from DRAM (sequentially dependent on one DMA queue).
+    const int missing = (root_hit ? 0 : 1) + (leaf_hit ? 0 : 1);
+    auto remaining = std::make_shared<int>(missing);
+    auto proceed = [this, req, remaining](Tick) {
+        if (--*remaining == 0)
+            stageInfer(req);
+    };
+    if (!root_hit) {
+        ++n_dma_;
+        dram_->access(root_addr, false, proceed);
+    }
+    if (!leaf_hit) {
+        ++n_dma_;
+        dram_->access(leaf_addr, false, proceed);
+    }
+}
+
+void
+ExmaAccelerator::stageInfer(Request req)
+{
+    // Stage ❺→❻: run the MTL inference on the PE arrays.
+    ++n_infer_;
+    auto it = std::min_element(engine_free_.begin(), engine_free_.end());
+    const Tick start = std::max(*it, eq_.now());
+    // A 2-input, 10-neuron node plus a linear leaf is ~31 MACs; an 8x8
+    // array retires them in well under two cycles.
+    const Tick done = start + cycles(2);
+    *it = done;
+    eq_.schedule(done, [this, req] { stageIncrements(req); });
+}
+
+void
+ExmaAccelerator::stageIncrements(Request req)
+{
+    // Stage ❻: read the increment at the predicted position; on a
+    // misprediction, linearly fetch neighbouring lines until corrected.
+    const IndexLookup &lk = lookupOf(req);
+    const double values_per_line = 64.0 / bytes_per_value_;
+
+    u64 lines = 1;
+    if (lk.used_model) {
+        lines += static_cast<u64>(static_cast<double>(lk.error) /
+                                  values_per_line);
+    } else {
+        // Binary search over a short list: touches at most two lines of
+        // a (<=256-entry) increment run.
+        lines = std::min<u64>(
+            2, 1 + static_cast<u64>(static_cast<double>(lk.probes) /
+                                    values_per_line));
+    }
+
+    const u64 rank = lk.rank;
+    const u64 first_addr =
+        incr_region_ +
+        static_cast<u64>(static_cast<double>(req.it->base + rank) *
+                         bytes_per_value_);
+    auto remaining = std::make_shared<u64>(lines);
+    auto proceed = [this, req, remaining, lines](Tick) {
+        if (--*remaining == 0) {
+            // CHAIN decompression: one accumulate pass per line.
+            if (cfg_.chain_compression) {
+                n_decomp_ += lines;
+                eq_.scheduleAfter(cycles(static_cast<int>(lines)),
+                                  [this, req] { finishRequest(req); });
+            } else {
+                finishRequest(req);
+            }
+        }
+    };
+    for (u64 l = 0; l < lines; ++l) {
+        ++n_dma_;
+        dram_->access(first_addr + l * 64, false, proceed);
+    }
+}
+
+void
+ExmaAccelerator::finishRequest(Request req)
+{
+    --inflight_;
+    QueryState *q = req.query;
+    if (--q->outstanding > 0) {
+        pumpDispatch();
+        return;
+    }
+
+    ++result_.iterations;
+    ++q->iter;
+    if (q->iter >= q->trace.size()) {
+        // Query done.
+        result_.bases += q->bases;
+        ++result_.queries;
+        --active_queries_;
+        admitQueries();
+        return;
+    }
+    const ExmaTable::IterTrace &it = q->trace[q->iter];
+    q->outstanding = 2;
+    for (bool high : {false, true}) {
+        Request r{q, &it, high};
+        ++n_cam_;
+        ++in_queue_;
+        if (cfg_.two_stage_scheduling) {
+            const u64 pos = high ? it.pos_high : it.pos_low;
+            sorted_ready_.emplace(std::make_pair(it.kmer, pos), r);
+        } else {
+            fifo_ready_.push_back(r);
+        }
+    }
+    pumpDispatch();
+}
+
+AcceleratorResult
+ExmaAccelerator::run(const std::vector<std::vector<Base>> &queries)
+{
+    result_ = AcceleratorResult{};
+    queries_.clear();
+    queries_.reserve(queries.size());
+    for (const auto &q : queries) {
+        QueryState qs;
+        qs.trace = table_.traceSearch(q);
+        qs.bases = q.size();
+        queries_.push_back(std::move(qs));
+    }
+    for (auto &qs : queries_)
+        waiting_.push_back(&qs);
+
+    admitQueries();
+    result_.elapsed = eq_.run();
+
+    result_.base_hit_rate = base_cache_.hitRate();
+    result_.index_hit_rate = index_cache_.hitRate();
+    result_.dram = dram_->stats();
+    result_.dram_row_hit_rate = dram_->rowHitRate();
+    result_.bandwidth_utilization = dram_->bandwidthUtilization();
+    result_.dram_energy = dramEnergy(result_.dram, result_.elapsed,
+                                     dram_cfg_, DramEnergyParams{});
+
+    result_.accel_dynamic_j =
+        (static_cast<double>(n_cam_) * (cfg_.cam_pj + cfg_.sched_pj) +
+         static_cast<double>(n_infer_) * cfg_.infer_pj * 31.0 +
+         static_cast<double>(n_base_acc_) * cfg_.base_cache_pj +
+         static_cast<double>(n_index_acc_) * cfg_.index_cache_pj +
+         static_cast<double>(n_decomp_) * cfg_.decompress_pj * 15.0 +
+         static_cast<double>(n_dma_) * cfg_.dma_pj) *
+        1e-12;
+    result_.accel_leakage_j = cfg_.leakage_mw * 1e-3 *
+                              static_cast<double>(result_.elapsed) * 1e-12;
+    return result_;
+}
+
+} // namespace exma

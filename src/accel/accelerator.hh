@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Trace-driven cycle-level model of the EXMA accelerator (§IV.C,
+ * Fig. 14): CAM scheduling queue with 2-stage scheduling, base/index
+ * caches, Tangram-style PE-array inference engine, CHAIN de/compression
+ * unit, DMA to the shared DDR4 system, and the dynamic page policy in
+ * the memory controller.
+ *
+ * The functional layer (ExmaTable::traceSearch) decides *what* every
+ * search iteration touches — base pointer, MTL nodes, predicted
+ * position, misprediction distance; this model decides *when*, by
+ * replaying those traces against shared hardware resources.
+ */
+
+#ifndef EXMA_ACCEL_ACCELERATOR_HH
+#define EXMA_ACCEL_ACCELERATOR_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "accel/cache.hh"
+#include "core/exma_table.hh"
+#include "dram/dram_system.hh"
+#include "dram/energy.hh"
+
+namespace exma {
+
+/** Table I configuration of the accelerator. */
+struct AcceleratorConfig
+{
+    double clock_mhz = 800.0;
+    int pe_arrays = 4;           ///< 8x8 PEs each
+    u64 cam_entries = 512;       ///< scheduling queue (128-bit entries)
+    u64 max_inflight = 64;       ///< DMA tags: requests past dispatch
+    u64 index_cache_bytes = 32 * 1024;
+    int index_cache_ways = 16;
+    u64 base_cache_bytes = 1 << 20;
+    int base_cache_ways = 8;
+    bool two_stage_scheduling = true;
+    bool chain_compression = true;
+
+    // Energy per operation in pJ (Table I) and leakage in mW.
+    double infer_pj = 0.25;
+    double cam_pj = 1.9;
+    double index_cache_pj = 2.62;
+    double base_cache_pj = 17.2;
+    double decompress_pj = 0.21;
+    double sched_pj = 1.02;
+    double dma_pj = 3.42;
+    double leakage_mw = 223.8;
+
+    Tick cyclePs() const { return static_cast<Tick>(1e6 / clock_mhz); }
+};
+
+/** Outcome of one accelerator simulation. */
+struct AcceleratorResult
+{
+    Tick elapsed = 0;
+    u64 queries = 0;
+    u64 bases = 0;
+    u64 iterations = 0;
+    double base_hit_rate = 0.0;
+    double index_hit_rate = 0.0;
+    double dram_row_hit_rate = 0.0;
+    double bandwidth_utilization = 0.0;
+    double accel_dynamic_j = 0.0;
+    double accel_leakage_j = 0.0;
+    DramStats dram;
+    DramEnergyReport dram_energy;
+
+    double
+    mbasesPerSecond() const
+    {
+        const double s = static_cast<double>(elapsed) * 1e-12;
+        return s > 0.0 ? static_cast<double>(bases) / s / 1e6 : 0.0;
+    }
+
+    double accelPowerW() const
+    {
+        const double s = static_cast<double>(elapsed) * 1e-12;
+        return s > 0.0 ? (accel_dynamic_j + accel_leakage_j) / s : 0.0;
+    }
+};
+
+class ExmaAccelerator
+{
+  public:
+    /**
+     * @param table MTL-indexed EXMA table (functional layer).
+     * @param cfg accelerator configuration.
+     * @param dram_cfg DDR4 configuration; its page policy is the
+     *        policy under test (Dynamic for full EXMA).
+     */
+    ExmaAccelerator(const ExmaTable &table, const AcceleratorConfig &cfg,
+                    const DramConfig &dram_cfg);
+
+    /** Simulate searching all @p queries; returns timing/energy. */
+    AcceleratorResult run(const std::vector<std::vector<Base>> &queries);
+
+  private:
+    struct QueryState
+    {
+        std::vector<ExmaTable::IterTrace> trace;
+        size_t iter = 0;
+        int outstanding = 0; ///< low/high requests in flight
+        u64 bases = 0;
+    };
+
+    struct Request
+    {
+        QueryState *query = nullptr;
+        const ExmaTable::IterTrace *it = nullptr;
+        bool is_high = false;
+    };
+
+    // Pipeline stages (continuation-passing on the event queue).
+    void admitQueries();
+    void pumpDispatch();
+    void dispatch(Request req);
+    void stageIndex(Request req);
+    void stageInfer(Request req);
+    void stageIncrements(Request req);
+    void finishRequest(Request req);
+
+    const IndexLookup &lookupOf(const Request &r) const
+    {
+        return r.is_high ? r.it->high : r.it->low;
+    }
+
+    Tick cycles(int n) const { return static_cast<Tick>(n) * cfg_.cyclePs(); }
+
+    const ExmaTable &table_;
+    AcceleratorConfig cfg_;
+    DramConfig dram_cfg_;
+
+    EventQueue eq_;
+    std::unique_ptr<DramSystem> dram_;
+    SetAssocCache base_cache_;
+    SetAssocCache index_cache_;
+
+    // Memory-layout regions (byte offsets into the EXMA data image).
+    u64 incr_region_ = 0;
+    u64 index_region_ = 0;
+    u64 leaf_region_ = 0;
+    double bytes_per_value_ = 4.0; ///< < 4 when CHAIN is on
+
+    // Scheduling queue: ordered by (k-mer, pos) when 2-stage is on.
+    // Dispatch drains sorted snapshots (batches) so no query starves.
+    std::multimap<std::pair<Kmer, u64>, Request> sorted_ready_;
+    std::deque<Request> batch_;
+    std::deque<Request> fifo_ready_;
+    u64 in_queue_ = 0;
+    u64 inflight_ = 0; ///< dispatched but unfinished requests
+    bool dispatch_pending_ = false;
+
+    std::deque<QueryState *> waiting_;
+    std::vector<QueryState> queries_;
+    u64 active_queries_ = 0;
+
+    std::vector<Tick> engine_free_;
+
+    // Op counters for dynamic energy.
+    u64 n_cam_ = 0, n_infer_ = 0, n_base_acc_ = 0, n_index_acc_ = 0,
+        n_decomp_ = 0, n_dma_ = 0;
+
+    AcceleratorResult result_;
+};
+
+} // namespace exma
+
+#endif // EXMA_ACCEL_ACCELERATOR_HH

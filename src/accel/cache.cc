@@ -1,0 +1,70 @@
+#include "accel/cache.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+SetAssocCache::SetAssocCache(u64 capacity_bytes, int ways, u64 line_bytes)
+    : ways_(ways), line_bytes_(line_bytes)
+{
+    exma_assert(ways >= 1, "associativity must be >= 1");
+    exma_assert(capacity_bytes >= line_bytes * static_cast<u64>(ways),
+                "cache smaller than one set");
+    sets_ = capacity_bytes / (line_bytes * static_cast<u64>(ways));
+    // Round down to a power of two for clean indexing.
+    while (sets_ & (sets_ - 1))
+        sets_ &= sets_ - 1;
+    lines_.resize(sets_ * static_cast<u64>(ways));
+}
+
+bool
+SetAssocCache::access(u64 addr)
+{
+    const u64 line = addr / line_bytes_;
+    const u64 set = line % sets_;
+    const u64 tag = line / sets_;
+    Line *base = &lines_[set * static_cast<u64>(ways_)];
+    ++tick_;
+    int victim = 0;
+    u64 oldest = ~u64{0};
+    for (int w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            ++hits_;
+            return true;
+        }
+        const u64 age = base[w].valid ? base[w].lru : 0;
+        if (age < oldest) {
+            oldest = age;
+            victim = w;
+        }
+    }
+    ++misses_;
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].lru = tick_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(u64 addr) const
+{
+    const u64 line = addr / line_bytes_;
+    const u64 set = line % sets_;
+    const u64 tag = line / sets_;
+    const Line *base = &lines_[set * static_cast<u64>(ways_)];
+    for (int w = 0; w < ways_; ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    tick_ = hits_ = misses_ = 0;
+}
+
+} // namespace exma

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Set-associative LRU cache model used for the accelerator's base
+ * cache (1 MB, 8-way eDRAM) and index cache (32 KB, 16-way SRAM) —
+ * Table I.
+ */
+
+#ifndef EXMA_ACCEL_CACHE_HH
+#define EXMA_ACCEL_CACHE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+class SetAssocCache
+{
+  public:
+    /**
+     * @param capacity_bytes total capacity.
+     * @param ways associativity.
+     * @param line_bytes line size (64 B everywhere in this repo).
+     */
+    SetAssocCache(u64 capacity_bytes, int ways, u64 line_bytes = 64);
+
+    /** Look up @p addr; inserts (with LRU eviction) on miss.
+     *  @return true on hit. */
+    bool access(u64 addr);
+
+    /** Look up without modifying state. */
+    bool probe(u64 addr) const;
+
+    void reset();
+
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    double
+    hitRate() const
+    {
+        const u64 total = hits_ + misses_;
+        return total ? static_cast<double>(hits_) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+
+    u64 capacityBytes() const { return sets_ * static_cast<u64>(ways_) * line_bytes_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = ~u64{0};
+        u64 lru = 0;
+        bool valid = false;
+    };
+
+    u64 sets_;
+    int ways_;
+    u64 line_bytes_;
+    u64 tick_ = 0;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace exma
+
+#endif // EXMA_ACCEL_CACHE_HH

@@ -1,0 +1,118 @@
+#include "apps/aligner.hh"
+
+#include <algorithm>
+
+#include "apps/smith_waterman.hh"
+
+namespace exma {
+namespace {
+
+/** Extract ref[lo, hi) clamped to bounds. */
+std::vector<Base>
+refSlice(const std::vector<Base> &ref, i64 lo, i64 hi)
+{
+    lo = std::max<i64>(lo, 0);
+    hi = std::min<i64>(hi, static_cast<i64>(ref.size()));
+    if (hi <= lo)
+        return {};
+    return {ref.begin() + lo, ref.begin() + hi};
+}
+
+} // namespace
+
+AlignResult
+alignReads(const std::vector<Base> &ref, const FmdIndex &fmd,
+           const std::vector<Read> &reads, const AlignerParams &params)
+{
+    AlignResult result;
+    result.alignments.reserve(reads.size());
+    const SwParams sw_params;
+
+    for (const Read &read : reads) {
+        Alignment best;
+        AppCounts &c = result.counts;
+        const int rlen = static_cast<int>(read.seq.size());
+
+        // Seeding: every SMEM pass touches each read symbol roughly
+        // twice (forward sweep + backward sweep) — this is the
+        // FM-Index work the accelerator absorbs.
+        auto smems = fmd.collectSmems(read.seq, params.min_seed_len);
+        c.fm_symbols += 2 * read.seq.size();
+
+        // Rank seeds: longer first (rarer, more anchoring).
+        std::sort(smems.begin(), smems.end(),
+                  [](const Smem &a, const Smem &b) {
+                      return a.length() > b.length();
+                  });
+
+        const int perfect = sw_params.match * rlen;
+        bool done = false;
+        for (size_t s = 0; s < smems.size() && s < 4 && !done; ++s) {
+            const Smem &m = smems[s];
+            auto hits = fmd.locate(m, params.max_seed_hits);
+            // Each locate is an LF-walk: more FM work.
+            c.fm_symbols += hits.size() * 16;
+            for (const auto &h : hits) {
+                // Seed-and-extend: the seed bases are already an exact
+                // match; only the unseeded flanks need dynamic
+                // programming (BWA-MEM's extension model). Error-free
+                // reads are fully covered by one SMEM and do ~no DP.
+                const int qb = h.is_rc ? rlen - m.qe : m.qb;
+                const int qe = h.is_rc ? rlen - m.qb : m.qe;
+                auto query = h.is_rc ? reverseComplement(read.seq)
+                                     : read.seq;
+
+                int score = sw_params.match * m.length();
+                const i64 seed_ref = static_cast<i64>(h.pos);
+
+                if (qb > 0) {
+                    std::vector<Base> left(query.begin(),
+                                           query.begin() + qb);
+                    auto target = refSlice(
+                        ref, seed_ref - qb - params.flank, seed_ref);
+                    SwResult sw = smithWaterman(left, target, sw_params);
+                    c.dp_cells += sw.cells;
+                    score += sw.score;
+                }
+                if (qe < rlen) {
+                    std::vector<Base> right(query.begin() + qe,
+                                            query.end());
+                    const i64 seed_end =
+                        seed_ref + static_cast<i64>(m.length());
+                    auto target = refSlice(ref, seed_end,
+                                           seed_end + (rlen - qe) +
+                                               params.flank);
+                    SwResult sw = smithWaterman(right, target, sw_params);
+                    c.dp_cells += sw.cells;
+                    score += sw.score;
+                }
+
+                if (score > best.score) {
+                    best.mapped = true;
+                    best.score = score;
+                    best.is_rc = h.is_rc;
+                    best.ref_pos =
+                        static_cast<u64>(std::max<i64>(seed_ref - qb, 0));
+                }
+                if (best.score >= perfect * 9 / 10) {
+                    done = true; // near-perfect alignment found
+                    break;
+                }
+            }
+        }
+        // Output/bookkeeping work.
+        result.counts.other_ops += read.seq.size();
+
+        if (best.mapped) {
+            ++result.mapped;
+            const u64 tol = 64 + read.seq.size() / 4;
+            const u64 lo = read.true_pos > tol ? read.true_pos - tol : 0;
+            if (best.ref_pos >= lo && best.ref_pos <= read.true_pos + tol)
+                ++result.correct;
+        }
+        result.alignments.push_back(best);
+    }
+    return result;
+}
+
+} // namespace exma

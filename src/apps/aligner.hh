@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seed-and-extend read alignment (BWA-MEM/MA style, §II.A): SMEM
+ * seeding through the FMD index, then banded Smith-Waterman extension
+ * around the best seeds. Counts the real work in each phase so the
+ * time models can reproduce Fig. 1 / Fig. 19 / Fig. 20.
+ */
+
+#ifndef EXMA_APPS_ALIGNER_HH
+#define EXMA_APPS_ALIGNER_HH
+
+#include <vector>
+
+#include "apps/app_model.hh"
+#include "fmindex/fmd_index.hh"
+#include "genome/reads.hh"
+
+namespace exma {
+
+struct AlignerParams
+{
+    int min_seed_len = 17;   ///< BWA-MEM default -k 19, shortened a bit
+    u64 max_seed_hits = 8;   ///< extend at most this many seed hits
+    int flank = 32;          ///< reference flank around a seed
+};
+
+struct Alignment
+{
+    bool mapped = false;
+    u64 ref_pos = 0;
+    bool is_rc = false;
+    int score = 0;
+};
+
+struct AlignResult
+{
+    std::vector<Alignment> alignments;
+    AppCounts counts;
+    u64 mapped = 0;
+    u64 correct = 0; ///< mapped within tolerance of the true origin
+};
+
+/** Align @p reads against @p ref via @p fmd. */
+AlignResult alignReads(const std::vector<Base> &ref, const FmdIndex &fmd,
+                       const std::vector<Read> &reads,
+                       const AlignerParams &params = AlignerParams());
+
+} // namespace exma
+
+#endif // EXMA_APPS_ALIGNER_HH

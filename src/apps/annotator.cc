@@ -1,0 +1,33 @@
+#include "apps/annotator.hh"
+
+namespace exma {
+
+AnnotateResult
+annotate(const FmIndex &fm, const std::vector<std::vector<Base>> &queries,
+         int word_len)
+{
+    AnnotateResult res;
+    for (const auto &q : queries) {
+        for (size_t i = 0; i + static_cast<size_t>(word_len) <= q.size();
+             i += static_cast<size_t>(word_len)) {
+            std::vector<Base> word(
+                q.begin() + static_cast<std::ptrdiff_t>(i),
+                q.begin() +
+                    static_cast<std::ptrdiff_t>(i +
+                                                static_cast<size_t>(
+                                                    word_len)));
+            auto iv = fm.search(word);
+            res.counts.fm_symbols += static_cast<u64>(word_len);
+            ++res.words;
+            if (!iv.empty()) {
+                ++res.matched_words;
+                if (iv.count() == 1)
+                    ++res.unique_words;
+            }
+        }
+        res.counts.other_ops += q.size() / 8;
+    }
+    return res;
+}
+
+} // namespace exma

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exact-word-match genome annotation (Healy et al., the paper's
+ * "ExactWordMatch" workload): slide a window over annotation queries
+ * and report occurrence counts of every word in the reference.
+ */
+
+#ifndef EXMA_APPS_ANNOTATOR_HH
+#define EXMA_APPS_ANNOTATOR_HH
+
+#include <vector>
+
+#include "apps/app_model.hh"
+#include "fmindex/fm_index.hh"
+
+namespace exma {
+
+struct AnnotateResult
+{
+    u64 words = 0;
+    u64 matched_words = 0;   ///< words occurring at least once
+    u64 unique_words = 0;    ///< words occurring exactly once
+    AppCounts counts;
+};
+
+/**
+ * Annotate @p queries against @p fm using non-overlapping windows of
+ * @p word_len.
+ */
+AnnotateResult annotate(const FmIndex &fm,
+                        const std::vector<std::vector<Base>> &queries,
+                        int word_len = 20);
+
+} // namespace exma
+
+#endif // EXMA_APPS_ANNOTATOR_HH

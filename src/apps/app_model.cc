@@ -1,0 +1,58 @@
+#include "apps/app_model.hh"
+
+namespace exma {
+
+AppBreakdown
+cpuBreakdown(const std::string &app, const AppCounts &counts,
+             const CpuCostModel &model)
+{
+    AppBreakdown b;
+    b.app = app;
+    b.fm_s = static_cast<double>(counts.fm_symbols) *
+             model.fm_ns_per_symbol * 1e-9;
+    b.dp_s = static_cast<double>(counts.dp_cells) * model.dp_ns_per_cell *
+             1e-9;
+    b.other_s = static_cast<double>(counts.other_ops) *
+                model.other_ns_per_op * 1e-9;
+    return b;
+}
+
+double
+exmaAppSpeedup(const AppBreakdown &cpu, double fm_speedup)
+{
+    const double accelerated =
+        cpu.fm_s / fm_speedup + cpu.dp_s + cpu.other_s;
+    return accelerated > 0.0 ? cpu.total() / accelerated : 1.0;
+}
+
+AppEnergy
+cpuAppEnergy(const AppBreakdown &cpu, const CpuCostModel &model)
+{
+    AppEnergy e;
+    // CPU active for the entire run; DRAM background charged to the
+    // chip/IO split used by Fig. 20.
+    e.cpu_j = model.cpu_power_w * cpu.total();
+    const double dram_w = 72.0;
+    e.dram_chip_j = dram_w * 0.8 * cpu.total();
+    e.dram_io_j = dram_w * 0.2 * cpu.total();
+    return e;
+}
+
+AppEnergy
+exmaAppEnergy(const AppBreakdown &cpu, double fm_speedup,
+              double exma_power_w, double dram_power_w,
+              const CpuCostModel &model)
+{
+    AppEnergy e;
+    const double fm_s = cpu.fm_s / fm_speedup;
+    const double host_s = cpu.dp_s + cpu.other_s;
+    // The CPU idles (near-zero dynamic power) while EXMA runs searches.
+    e.cpu_j = model.cpu_power_w * host_s;
+    e.dram_chip_j = dram_power_w * 0.8 * (fm_s + host_s);
+    e.dram_io_j = dram_power_w * 0.2 * (fm_s + host_s);
+    e.exma_dyn_j = exma_power_w * 0.75 * fm_s;
+    e.exma_leak_j = exma_power_w * 0.25 * (fm_s + host_s);
+    return e;
+}
+
+} // namespace exma

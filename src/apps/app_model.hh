@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Operation accounting and CPU/EXMA time-energy models for the genome
+ * analysis applications (Fig. 1 execution-time breakdown, Fig. 19
+ * speedups, Fig. 20 energy). Applications count the real operations
+ * they execute — FM-Index symbols searched, dynamic-programming cells
+ * filled, other bytes touched — and these models convert counts to
+ * time on the paper's 16-core CPU, with and without the EXMA
+ * accelerator owning the FM-Index portion.
+ */
+
+#ifndef EXMA_APPS_APP_MODEL_HH
+#define EXMA_APPS_APP_MODEL_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** Real operation counts collected by an application run. */
+struct AppCounts
+{
+    u64 fm_symbols = 0;  ///< DNA symbols resolved via FM-Index search
+    u64 dp_cells = 0;    ///< Smith-Waterman cells filled
+    u64 other_ops = 0;   ///< misc. linear work (bytes touched)
+
+    AppCounts &
+    operator+=(const AppCounts &o)
+    {
+        fm_symbols += o.fm_symbols;
+        dp_cells += o.dp_cells;
+        other_ops += o.other_ops;
+        return *this;
+    }
+};
+
+/** Unit costs on the CPU baseline. */
+struct CpuCostModel
+{
+    double fm_ns_per_symbol = 60.0; ///< LISA-21 software search
+    double dp_ns_per_cell = 0.8;    ///< vectorised SW on 16 cores
+    double other_ns_per_op = 0.35;
+
+    double cpu_power_w = 95.0;
+};
+
+/** Execution-time split of one application run (seconds). */
+struct AppBreakdown
+{
+    std::string app;
+    double fm_s = 0.0;
+    double dp_s = 0.0;
+    double other_s = 0.0;
+
+    double total() const { return fm_s + dp_s + other_s; }
+    double fmFraction() const { return total() > 0 ? fm_s / total() : 0; }
+    double dpFraction() const { return total() > 0 ? dp_s / total() : 0; }
+};
+
+/** CPU-only execution time of an application run. */
+AppBreakdown cpuBreakdown(const std::string &app, const AppCounts &counts,
+                          const CpuCostModel &model = CpuCostModel());
+
+/** Speedup when EXMA accelerates the FM portion by @p fm_speedup. */
+double exmaAppSpeedup(const AppBreakdown &cpu, double fm_speedup);
+
+/** Energy split of a run (Joules), CPU-only and with EXMA. */
+struct AppEnergy
+{
+    double cpu_j = 0.0;
+    double dram_chip_j = 0.0;
+    double dram_io_j = 0.0;
+    double exma_dyn_j = 0.0;
+    double exma_leak_j = 0.0;
+
+    double
+    total() const
+    {
+        return cpu_j + dram_chip_j + dram_io_j + exma_dyn_j + exma_leak_j;
+    }
+};
+
+/**
+ * Energy model: on CPU the processor burns cpu_power_w for the whole
+ * run and DRAM serves everything; with EXMA the CPU is off during the
+ * FM phase (the accelerator and DRAM run it) — §VI's energy argument.
+ */
+AppEnergy cpuAppEnergy(const AppBreakdown &cpu,
+                       const CpuCostModel &model = CpuCostModel());
+AppEnergy exmaAppEnergy(const AppBreakdown &cpu, double fm_speedup,
+                        double exma_power_w, double dram_power_w,
+                        const CpuCostModel &model = CpuCostModel());
+
+} // namespace exma
+
+#endif // EXMA_APPS_APP_MODEL_HH

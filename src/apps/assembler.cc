@@ -1,0 +1,114 @@
+#include "apps/assembler.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "fmindex/fm_index.hh"
+
+namespace exma {
+namespace {
+
+/**
+ * FM-Index over the concatenated reads with per-read boundaries, so a
+ * matched row can be attributed to the read containing it.
+ */
+struct ReadsIndex
+{
+    std::vector<Base> text;
+    std::vector<u64> starts; ///< read r begins at starts[r]
+    std::unique_ptr<FmIndex> fm;
+
+    explicit ReadsIndex(const std::vector<Read> &reads)
+    {
+        for (const Read &r : reads) {
+            starts.push_back(text.size());
+            text.insert(text.end(), r.seq.begin(), r.seq.end());
+        }
+        fm = std::make_unique<FmIndex>(text);
+    }
+
+    u32
+    readOf(u64 pos) const
+    {
+        auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+        return static_cast<u32>(it - starts.begin() - 1);
+    }
+};
+
+} // namespace
+
+AssembleResult
+assembleOverlaps(const std::vector<Read> &reads,
+                 const AssemblerParams &params)
+{
+    AssembleResult result;
+    if (reads.empty())
+        return result;
+
+    ReadsIndex idx(reads);
+
+    // Optional FM-Index-based error correction (long reads): vote each
+    // k-mer's support; the FM search work is what matters for Fig. 1.
+    std::vector<Read> working = reads;
+    if (params.error_correct) {
+        const int k = params.correct_k;
+        for (Read &r : working) {
+            if (static_cast<int>(r.seq.size()) <= k)
+                continue;
+            for (size_t i = 0; i + static_cast<size_t>(k) <= r.seq.size();
+                 i += static_cast<size_t>(k)) {
+                std::vector<Base> kmer(r.seq.begin() +
+                                           static_cast<std::ptrdiff_t>(i),
+                                       r.seq.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               i + static_cast<size_t>(k)));
+                auto iv = idx.fm->search(kmer);
+                result.counts.fm_symbols += static_cast<u64>(k);
+                if (iv.count() <= 1) {
+                    // Weakly supported k-mer: try the 4 single-base
+                    // repairs of its first symbol (bounded FMLRC-style
+                    // voting).
+                    for (Base b = 0; b < 4; ++b) {
+                        if (b == kmer[0])
+                            continue;
+                        kmer[0] = b;
+                        auto alt = idx.fm->search(kmer);
+                        result.counts.fm_symbols += static_cast<u64>(k);
+                        if (alt.count() > 2) {
+                            r.seq[i] = b;
+                            ++result.corrected_bases;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Overlap detection: search each read's suffix of min_overlap; any
+    // other read whose body contains it at a prefix position overlaps.
+    for (u32 r = 0; r < working.size(); ++r) {
+        const auto &seq = working[r].seq;
+        if (static_cast<int>(seq.size()) < params.min_overlap)
+            continue;
+        std::vector<Base> suffix(
+            seq.end() - params.min_overlap, seq.end());
+        auto iv = idx.fm->search(suffix);
+        result.counts.fm_symbols += static_cast<u64>(params.min_overlap);
+        auto hits = idx.fm->locateAll(iv, 16);
+        result.counts.fm_symbols += hits.size() * 8; // LF walks
+        for (u64 pos : hits) {
+            const u32 other = idx.readOf(pos);
+            if (other == r)
+                continue;
+            if (pos == idx.starts[other]) // suffix matches their prefix
+                result.overlaps.push_back(
+                    OverlapEdge{r, other, params.min_overlap});
+        }
+        result.counts.other_ops += seq.size();
+    }
+    return result;
+}
+
+} // namespace exma

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SGA-style FM-Index read-overlap computation (§V "SGA for read
+ * assembly"): build an FM-Index over the read set and find, for every
+ * read, the reads whose prefix exactly overlaps its suffix by at least
+ * min_overlap bases. Long-read assembly first runs FM-Index-based
+ * error correction (the FMLRC-style scheme the paper cites).
+ */
+
+#ifndef EXMA_APPS_ASSEMBLER_HH
+#define EXMA_APPS_ASSEMBLER_HH
+
+#include <vector>
+
+#include "apps/app_model.hh"
+#include "genome/reads.hh"
+
+namespace exma {
+
+struct AssemblerParams
+{
+    int min_overlap = 31;
+    bool error_correct = false; ///< k-mer-vote correction (long reads)
+    int correct_k = 15;
+};
+
+struct OverlapEdge
+{
+    u32 from = 0;
+    u32 to = 0;
+    int length = 0;
+};
+
+struct AssembleResult
+{
+    std::vector<OverlapEdge> overlaps;
+    AppCounts counts;
+    u64 corrected_bases = 0;
+};
+
+/** Compute the overlap graph of @p reads. */
+AssembleResult assembleOverlaps(const std::vector<Read> &reads,
+                                const AssemblerParams &params =
+                                    AssemblerParams());
+
+} // namespace exma
+
+#endif // EXMA_APPS_ASSEMBLER_HH

@@ -1,0 +1,107 @@
+#include "apps/compressor.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+CompressResult
+compressWithBlob(const FmIndex &fm, const std::vector<Base> &target,
+                 std::vector<u8> &blob, int min_match)
+{
+    CompressResult res;
+    res.input_bytes = target.size();
+    blob.clear();
+
+    // Parse right-to-left: FM backward search naturally extends a match
+    // leftwards, so the longest factor *ending* at i is found by
+    // extending until the interval empties.
+    i64 i = static_cast<i64>(target.size());
+    std::vector<u8> rev_blob;
+    while (i > 0) {
+        Interval iv = fm.fullInterval();
+        i64 j = i;
+        Interval last_nonempty = iv;
+        while (j > 0) {
+            Interval next = fm.extend(iv, target[static_cast<size_t>(j - 1)]);
+            ++res.counts.fm_symbols;
+            if (next.empty())
+                break;
+            iv = next;
+            last_nonempty = next;
+            --j;
+        }
+        const i64 len = i - j;
+        if (len >= min_match) {
+            const u64 pos = fm.locate(last_nonempty.low);
+            res.counts.fm_symbols += 8; // LF walk for locate
+            ++res.copy_tokens;
+            rev_blob.push_back(1);
+            for (int b = 0; b < 4; ++b)
+                rev_blob.push_back(static_cast<u8>(pos >> (8 * b)));
+            const u16 len16 = static_cast<u16>(std::min<i64>(len, 65535));
+            rev_blob.push_back(static_cast<u8>(len16 & 0xff));
+            rev_blob.push_back(static_cast<u8>(len16 >> 8));
+            i = j + (len - len16); // only if clamped (never for our sizes)
+        } else {
+            ++res.literal_bases;
+            rev_blob.push_back(0);
+            rev_blob.push_back(target[static_cast<size_t>(i - 1)]);
+            --i;
+        }
+        res.counts.other_ops += 4;
+    }
+    // Tokens were produced back-to-front; reverse token-wise.
+    std::vector<std::pair<size_t, size_t>> spans;
+    size_t off = 0;
+    while (off < rev_blob.size()) {
+        const size_t len = rev_blob[off] == 1 ? 7 : 2;
+        spans.emplace_back(off, len);
+        off += len;
+    }
+    for (auto it = spans.rbegin(); it != spans.rend(); ++it)
+        blob.insert(blob.end(), rev_blob.begin() +
+                                    static_cast<std::ptrdiff_t>(it->first),
+                    rev_blob.begin() +
+                        static_cast<std::ptrdiff_t>(it->first + it->second));
+    res.compressed_bytes = blob.size();
+    return res;
+}
+
+CompressResult
+compressAgainstReference(const FmIndex &fm, const std::vector<Base> &target,
+                         int min_match)
+{
+    std::vector<u8> blob;
+    return compressWithBlob(fm, target, blob, min_match);
+}
+
+std::vector<Base>
+decompressTokens(const std::vector<Base> &ref, const std::vector<u8> &blob)
+{
+    std::vector<Base> out;
+    size_t off = 0;
+    while (off < blob.size()) {
+        if (blob[off] == 1) {
+            exma_assert(off + 7 <= blob.size(), "truncated copy token");
+            u64 pos = 0;
+            for (int b = 0; b < 4; ++b)
+                pos |= static_cast<u64>(blob[off + 1 +
+                                             static_cast<size_t>(b)])
+                       << (8 * b);
+            const u16 len = static_cast<u16>(blob[off + 5] |
+                                             (blob[off + 6] << 8));
+            exma_assert(pos + len <= ref.size(), "copy out of range");
+            out.insert(out.end(),
+                       ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                       ref.begin() + static_cast<std::ptrdiff_t>(pos + len));
+            off += 7;
+        } else {
+            exma_assert(off + 2 <= blob.size(), "truncated literal");
+            out.push_back(blob[off + 1]);
+            off += 2;
+        }
+    }
+    return out;
+}
+
+} // namespace exma

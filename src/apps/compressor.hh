@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reference-based sequence compression via FM-Index longest-match
+ * parsing (Prochazka & Holub, the paper's "compress" workload): factor
+ * a target sequence into (position, length) copies from the reference
+ * plus literal bases.
+ */
+
+#ifndef EXMA_APPS_COMPRESSOR_HH
+#define EXMA_APPS_COMPRESSOR_HH
+
+#include <vector>
+
+#include "apps/app_model.hh"
+#include "fmindex/fm_index.hh"
+
+namespace exma {
+
+struct CompressResult
+{
+    u64 input_bytes = 0;
+    u64 compressed_bytes = 0;
+    u64 copy_tokens = 0;
+    u64 literal_bases = 0;
+    AppCounts counts;
+
+    double
+    ratio() const
+    {
+        return input_bytes ? static_cast<double>(compressed_bytes) /
+                                 static_cast<double>(input_bytes)
+                           : 1.0;
+    }
+};
+
+/**
+ * Greedy longest-match parse of @p target against @p fm's reference.
+ * Copy tokens cost 8 bytes (position + length); literals 1 byte each.
+ */
+CompressResult compressAgainstReference(const FmIndex &fm,
+                                        const std::vector<Base> &target,
+                                        int min_match = 12);
+
+/** Verify a parse by re-expanding it (used by tests and examples). */
+std::vector<Base> decompressTokens(const std::vector<Base> &ref,
+                                   const std::vector<u8> &blob);
+
+/** Serialised token stream for round-trip verification. */
+CompressResult compressWithBlob(const FmIndex &fm,
+                                const std::vector<Base> &target,
+                                std::vector<u8> &blob, int min_match = 12);
+
+} // namespace exma
+
+#endif // EXMA_APPS_COMPRESSOR_HH

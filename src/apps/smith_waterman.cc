@@ -1,0 +1,61 @@
+#include "apps/smith_waterman.hh"
+
+#include <algorithm>
+
+namespace exma {
+
+SwResult
+smithWaterman(const std::vector<Base> &query,
+              const std::vector<Base> &target, const SwParams &p)
+{
+    SwResult res;
+    const int m = static_cast<int>(query.size());
+    const int n = static_cast<int>(target.size());
+    if (m == 0 || n == 0)
+        return res;
+
+    constexpr int kNegInf = -(1 << 28);
+    // Rolling rows of H (match), E (gap in query), F (gap in target).
+    std::vector<int> h_prev(static_cast<size_t>(n) + 1, 0);
+    std::vector<int> e_prev(static_cast<size_t>(n) + 1, kNegInf);
+    std::vector<int> h_cur(static_cast<size_t>(n) + 1, 0);
+    std::vector<int> e_cur(static_cast<size_t>(n) + 1, kNegInf);
+
+    for (int i = 1; i <= m; ++i) {
+        const int lo = std::max(1, i - p.band);
+        const int hi = std::min(n, i + p.band);
+        h_cur[static_cast<size_t>(lo - 1)] = 0;
+        int f = kNegInf;
+        for (int j = lo; j <= hi; ++j) {
+            ++res.cells;
+            const int e = std::max(
+                e_prev[static_cast<size_t>(j)] + p.gap_extend,
+                h_prev[static_cast<size_t>(j)] + p.gap_open);
+            f = std::max(f + p.gap_extend,
+                         h_cur[static_cast<size_t>(j - 1)] + p.gap_open);
+            const int diag =
+                h_prev[static_cast<size_t>(j - 1)] +
+                (query[static_cast<size_t>(i - 1)] ==
+                         target[static_cast<size_t>(j - 1)]
+                     ? p.match
+                     : p.mismatch);
+            int h = std::max({0, diag, e, f});
+            h_cur[static_cast<size_t>(j)] = h;
+            e_cur[static_cast<size_t>(j)] = e;
+            if (h > res.score) {
+                res.score = h;
+                res.query_end = i;
+                res.ref_end = j;
+            }
+        }
+        if (hi < n)
+            h_cur[static_cast<size_t>(hi + 1)] = 0;
+        std::swap(h_prev, h_cur);
+        std::swap(e_prev, e_cur);
+        std::fill(h_cur.begin(), h_cur.end(), 0);
+        std::fill(e_cur.begin(), e_cur.end(), kNegInf);
+    }
+    return res;
+}
+
+} // namespace exma

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Banded affine-gap Smith-Waterman — the seed-extension kernel of
+ * seed-and-extend read alignment (§II.A), and the "DynPro" component of
+ * Fig. 1's execution-time breakdown.
+ */
+
+#ifndef EXMA_APPS_SMITH_WATERMAN_HH
+#define EXMA_APPS_SMITH_WATERMAN_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace exma {
+
+struct SwParams
+{
+    int match = 2;
+    int mismatch = -4;
+    int gap_open = -6;
+    int gap_extend = -1;
+    int band = 32; ///< half-width of the anti-diagonal band
+};
+
+struct SwResult
+{
+    int score = 0;
+    u64 cells = 0;    ///< DP cells actually filled (for Fig. 1)
+    int query_end = 0;
+    int ref_end = 0;
+};
+
+/** Local alignment of @p query against @p target within a band. */
+SwResult smithWaterman(const std::vector<Base> &query,
+                       const std::vector<Base> &target,
+                       const SwParams &params = SwParams());
+
+} // namespace exma
+
+#endif // EXMA_APPS_SMITH_WATERMAN_HH

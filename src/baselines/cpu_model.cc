@@ -1,0 +1,50 @@
+#include "baselines/cpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exma {
+
+double
+cpuAccessNs(double footprint_gb)
+{
+    // 75 ns raw random access; TLB/page-walk pressure grows with the
+    // footprint beyond the ~4 GB hugepage reach.
+    const double base = 75.0;
+    const double factor = std::max(1.0, footprint_gb / 4.0);
+    return base + 60.0 * std::log(factor);
+}
+
+double
+cpuIterationCostNs(const CpuScheme &s)
+{
+    const double t_req = cpuAccessNs(s.footprint_gb);
+    double cost = t_req;
+    if (!s.perfect_cache)
+        cost += s.index_node_factor * t_req;
+    if (!s.perfect_index) {
+        // Linear correction search: mostly cache-resident scanning at
+        // ~0.1 ns per entry.
+        cost += 0.1 * s.mean_error_entries;
+    }
+    return cost;
+}
+
+double
+cpuThroughput(const CpuScheme &s)
+{
+    return static_cast<double>(s.symbols_per_iteration) /
+           cpuIterationCostNs(s);
+}
+
+double
+cpuNormalizedThroughput(const CpuScheme &s, double fm1_footprint_gb)
+{
+    CpuScheme fm1;
+    fm1.name = "FM-1";
+    fm1.symbols_per_iteration = 1;
+    fm1.footprint_gb = fm1_footprint_gb;
+    return cpuThroughput(s) / cpuThroughput(fm1);
+}
+
+} // namespace exma

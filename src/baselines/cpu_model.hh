@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytic CPU iteration-cost model for the algorithm-comparison
+ * figures (Fig. 6d, Fig. 10b). Each scheme's per-iteration cost on the
+ * paper's 16-core CPU is a random DRAM access whose latency grows with
+ * the data structure's footprint (TLB pressure), plus learned-index
+ * node traversal, plus misprediction correction. Calibrated against
+ * the paper's quoted points: FM-5 ≈ 1.21x, LISA-21 ≈ 2.15x,
+ * LISA-21P ≈ 5.1x, LISA-21PC ≈ 8.53x over FM-1.
+ */
+
+#ifndef EXMA_BASELINES_CPU_MODEL_HH
+#define EXMA_BASELINES_CPU_MODEL_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace exma {
+
+struct CpuScheme
+{
+    std::string name;
+    int symbols_per_iteration = 1;
+    double footprint_gb = 3.4;      ///< data-structure size at CPU scale
+    double index_node_factor = 0.0; ///< learned-index traversal cost,
+                                    ///< as a fraction of a main access
+    double mean_error_entries = 0.0; ///< misprediction linear search
+    bool perfect_index = false;      ///< the paper's "-P" variants
+    bool perfect_cache = false;      ///< the paper's "-PC" variants
+};
+
+/** Effective random-access latency at a given footprint (ns). */
+double cpuAccessNs(double footprint_gb);
+
+/** Cost of one search iteration of @p s (ns). */
+double cpuIterationCostNs(const CpuScheme &s);
+
+/** Throughput in symbols/ns (relative units). */
+double cpuThroughput(const CpuScheme &s);
+
+/** Throughput normalised to a 1-step FM-Index at @p fm1_footprint_gb. */
+double cpuNormalizedThroughput(const CpuScheme &s,
+                               double fm1_footprint_gb = 3.4);
+
+} // namespace exma
+
+#endif // EXMA_BASELINES_CPU_MODEL_HH

@@ -1,0 +1,277 @@
+#include "baselines/device_models.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace exma {
+namespace {
+
+/** Event-driven runner for one ChainSpec. */
+class ChainRunner
+{
+  public:
+    ChainRunner(const ChainSpec &spec, const DramConfig &base)
+        : spec_(spec), rng_(spec.seed)
+    {
+        cfg_ = base;
+        cfg_.page_policy = spec.policy;
+        cfg_.chip_level_parallelism = spec.chip_mode;
+        dram_ = std::make_unique<DramSystem>(eq_, cfg_);
+        remaining_ = spec.iterations;
+    }
+
+    DeviceResult
+    run()
+    {
+        for (int w = 0; w < spec_.workers; ++w)
+            startIteration();
+        const Tick end = eq_.run();
+
+        DeviceResult r;
+        r.name = spec_.name;
+        r.elapsed = end;
+        r.symbols = done_iterations_ *
+                    static_cast<u64>(spec_.symbols_per_iteration);
+        r.bw_util = dram_->bandwidthUtilization();
+        r.row_hit_rate = dram_->rowHitRate();
+        r.avg_latency_ns = dram_->avgLatencyNs();
+        r.dram = dram_->stats();
+        r.acc_power_w = spec_.acc_power_w;
+        r.mem_power_w =
+            dramEnergy(r.dram, end, cfg_, DramEnergyParams{},
+                       spec_.chip_mode)
+                .avg_power_w;
+        return r;
+    }
+
+  private:
+    void
+    startIteration()
+    {
+        if (remaining_ == 0)
+            return;
+        --remaining_;
+
+        // FindeR: a fraction of accesses is served by internal ReRAM.
+        if (spec_.internal_hit > 0.0 &&
+            rng_.uniform() < spec_.internal_hit) {
+            eq_.scheduleAfter(spec_.internal_latency_ps +
+                                  spec_.compute_ps,
+                              [this] { completeIteration(); });
+            return;
+        }
+
+        const int chip =
+            spec_.chip_mode
+                ? static_cast<int>(rng_.below(
+                      static_cast<u64>(cfg_.chips_per_rank)))
+                : -1;
+        chainAccess(chip, spec_.dependent_accesses);
+    }
+
+    /**
+     * Serial random accesses (pointer chasing through the index
+     * hierarchy); the last one anchors the follow-on line fetches.
+     */
+    void
+    chainAccess(int chip, int remaining_deps)
+    {
+        const u64 addr = rng_.below(spec_.footprint_bytes / 64) * 64;
+        const int extra = spec_.lines_per_iteration - 1;
+        auto self = this;
+        if (remaining_deps > 1) {
+            dram_->access(addr, false,
+                          [self, chip, remaining_deps](Tick) {
+                              self->chainAccess(chip, remaining_deps - 1);
+                          },
+                          chip);
+        } else {
+            dram_->access(addr, false,
+                          [self, addr, chip, extra](Tick) {
+                              self->fetchExtra(addr, chip, extra);
+                          },
+                          chip);
+        }
+    }
+
+    void
+    fetchExtra(u64 addr, int chip, int extra)
+    {
+        if (extra <= 0) {
+            finishCompute();
+            return;
+        }
+        // Follow-on lines: sequential (same row) or random re-chases.
+        auto remaining = std::make_shared<int>(extra);
+        auto self = this;
+        auto done = [self, remaining](Tick) {
+            if (--*remaining == 0)
+                self->finishCompute();
+        };
+        for (int l = 1; l <= extra; ++l) {
+            const u64 a = spec_.extra_lines_sequential
+                              ? addr + static_cast<u64>(l) * 64
+                              : rng_.below(spec_.footprint_bytes / 64) * 64;
+            dram_->access(a % spec_.footprint_bytes, false, done, chip);
+        }
+    }
+
+    void
+    finishCompute()
+    {
+        if (spec_.compute_ps > 0)
+            eq_.scheduleAfter(spec_.compute_ps,
+                              [this] { completeIteration(); });
+        else
+            completeIteration();
+    }
+
+    void
+    completeIteration()
+    {
+        ++done_iterations_;
+        startIteration();
+    }
+
+    ChainSpec spec_;
+    DramConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<DramSystem> dram_;
+    Rng rng_;
+    u64 remaining_ = 0;
+    u64 done_iterations_ = 0;
+};
+
+} // namespace
+
+DeviceResult
+runChainWorkload(const ChainSpec &spec, const DramConfig &base)
+{
+    exma_assert(spec.workers > 0 && spec.iterations > 0,
+                "degenerate chain spec");
+    ChainRunner runner(spec, base);
+    return runner.run();
+}
+
+ChainSpec
+cpuFm1Spec(u64 footprint_bytes)
+{
+    ChainSpec s;
+    s.name = "CPU-FM1";
+    // 16 cores, roughly one in-flight software search per core plus a
+    // little memory-level parallelism within each.
+    s.workers = 24;
+    s.symbols_per_iteration = 1;
+    s.dependent_accesses = 1;
+    s.lines_per_iteration = 1;
+    s.policy = PagePolicy::Open; // commodity controllers
+    s.compute_ps = 40000; // software Occ reconstruction per step
+    s.acc_power_w = 95.0; // 16-core Xeon-class (McPAT regime)
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+ChainSpec
+cpuLisaSpec(u64 footprint_bytes, int k, double extra_lines)
+{
+    ChainSpec s = cpuFm1Spec(footprint_bytes);
+    s.name = "CPU-LISA";
+    s.symbols_per_iteration = k;
+    // Every lower-bound query walks the learned-index hierarchy
+    // (pointer chasing, §III.A) before touching the IP-BWT entry.
+    s.dependent_accesses = 3;
+    s.lines_per_iteration = 1 + static_cast<int>(extra_lines + 0.5);
+    s.extra_lines_sequential = true;
+    s.compute_ps = 80000; // model evaluation + comparisons in software
+    return s;
+}
+
+ChainSpec
+gpuLisaSpec(u64 footprint_bytes, int k, double extra_lines)
+{
+    ChainSpec s;
+    s.name = "GPU";
+    // Thousands of threads but LISA's binary/linear searches serialise
+    // warps; effective concurrent chains are a few hundred.
+    s.workers = 224;
+    s.symbols_per_iteration = k;
+    // Fetches whole rows around the predicted position (§VI).
+    s.lines_per_iteration = 8 + static_cast<int>(extra_lines + 0.5);
+    s.extra_lines_sequential = true;
+    s.policy = PagePolicy::Open;
+    s.compute_ps = 8000;
+    s.acc_power_w = 182.0; // Tesla P100 board power (Table II)
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+ChainSpec
+fpgaFm2Spec(u64 footprint_bytes)
+{
+    ChainSpec s;
+    s.name = "FPGA";
+    s.workers = 12; // pipeline slots of the Stratix-V design [30]
+    s.symbols_per_iteration = 2;
+    s.lines_per_iteration = 1;
+    s.policy = PagePolicy::Close;
+    s.compute_ps = 10000; // ~200 MHz fabric, a few cycles per step
+    s.acc_power_w = 11.0;
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+ChainSpec
+asicFm1Spec(u64 footprint_bytes)
+{
+    ChainSpec s;
+    s.name = "ASIC";
+    s.workers = 8; // the 28nm design [37] keeps few searches in flight
+    s.symbols_per_iteration = 1;
+    s.lines_per_iteration = 1;
+    s.policy = PagePolicy::Close;
+    s.compute_ps = 2000;
+    s.acc_power_w = 9.4;
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+ChainSpec
+medalSpec(u64 footprint_bytes)
+{
+    ChainSpec s;
+    s.name = "MEDAL";
+    // Chip-level parallelism: every chip runs its own search, but all
+    // ACT/RD commands share the 17-bit DDR4 address bus (Fig. 7).
+    s.workers = 768; // one search per chip across 48 ranks
+    s.symbols_per_iteration = 1;
+    s.lines_per_iteration = 1;
+    s.policy = PagePolicy::Close;
+    s.chip_mode = true;
+    s.compute_ps = 3000; // near-bank logic
+    s.acc_power_w = 0.011;
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+ChainSpec
+finderSpec(u64 footprint_bytes, u64 internal_bytes)
+{
+    ChainSpec s;
+    s.name = "FindeR";
+    s.workers = 64;
+    s.symbols_per_iteration = 1;
+    s.lines_per_iteration = 1;
+    s.policy = PagePolicy::Close;
+    s.internal_hit =
+        std::min(1.0, static_cast<double>(internal_bytes) /
+                          static_cast<double>(footprint_bytes));
+    s.internal_latency_ps = 60000; // ReRAM array search
+    s.compute_ps = 2000;
+    s.acc_power_w = 0.28;
+    s.footprint_bytes = footprint_bytes;
+    return s;
+}
+
+} // namespace exma

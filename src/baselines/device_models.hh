@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mechanistic models of the prior FM-Index accelerators the paper
+ * compares against (Table II): CPU, GPU (LISA-21), FPGA (FM-2),
+ * ASIC (FM-1), MEDAL (FM-1 with chip-level parallelism) and FindeR
+ * (ReRAM PIM with capacity-limited internal arrays).
+ *
+ * Every device is expressed as a set of concurrent *dependent access
+ * chains* — the defining property of FM-Index search is that iteration
+ * i+1's address depends on iteration i's data — running against the
+ * same cycle-level DDR4 system the EXMA accelerator uses. What differs
+ * per device is its concurrency (how many chains it can keep in
+ * flight), the symbols resolved and lines fetched per iteration, its
+ * page policy, chip-level parallelism, and any internal memory.
+ */
+
+#ifndef EXMA_BASELINES_DEVICE_MODELS_HH
+#define EXMA_BASELINES_DEVICE_MODELS_HH
+
+#include <string>
+
+#include "dram/dram_system.hh"
+#include "dram/energy.hh"
+
+namespace exma {
+
+/** A device expressed as concurrent dependent DRAM-access chains. */
+struct ChainSpec
+{
+    std::string name;
+    int workers = 16;              ///< concurrent dependent chains
+    u64 iterations = 20000;        ///< total iterations across workers
+    int symbols_per_iteration = 1; ///< DNA symbols resolved per iter
+    int dependent_accesses = 1;    ///< serial random accesses per iter
+                                   ///< (index-hierarchy traversal)
+    int lines_per_iteration = 1;   ///< 64B lines fetched per iter
+    bool extra_lines_sequential = true; ///< follow-on lines share a row
+    PagePolicy policy = PagePolicy::Close;
+    bool chip_mode = false;        ///< MEDAL chip-level parallelism
+    double internal_hit = 0.0;     ///< FindeR: fraction served on-die
+    Tick internal_latency_ps = 50000;
+    Tick compute_ps = 0;           ///< device compute per iteration
+    double acc_power_w = 0.0;      ///< device (non-DRAM) power
+    u64 footprint_bytes = u64{1} << 34; ///< randomised address range
+    u64 seed = 1;
+};
+
+struct DeviceResult
+{
+    std::string name;
+    Tick elapsed = 0;
+    u64 symbols = 0;
+    double bw_util = 0.0;
+    double row_hit_rate = 0.0;
+    double avg_latency_ns = 0.0;
+    double acc_power_w = 0.0;
+    double mem_power_w = 0.0;
+    DramStats dram;
+
+    double
+    mbasesPerSecond() const
+    {
+        const double s = static_cast<double>(elapsed) * 1e-12;
+        return s > 0.0 ? static_cast<double>(symbols) / s / 1e6 : 0.0;
+    }
+
+    double
+    mbasesPerWatt() const
+    {
+        const double p = acc_power_w + mem_power_w;
+        return p > 0.0 ? mbasesPerSecond() / p : 0.0;
+    }
+};
+
+/** Simulate @p spec against a DDR4 system derived from @p base. */
+DeviceResult runChainWorkload(const ChainSpec &spec,
+                              const DramConfig &base);
+
+/**
+ * Preset specs for the paper's comparison devices processing a genome
+ * of @p footprint_bytes. @p lisa_extra_lines is the measured average
+ * misprediction overhead of the LISA learned index in 64 B lines.
+ */
+ChainSpec cpuFm1Spec(u64 footprint_bytes);
+ChainSpec cpuLisaSpec(u64 footprint_bytes, int k, double extra_lines);
+ChainSpec gpuLisaSpec(u64 footprint_bytes, int k, double extra_lines);
+ChainSpec fpgaFm2Spec(u64 footprint_bytes);
+ChainSpec asicFm1Spec(u64 footprint_bytes);
+ChainSpec medalSpec(u64 footprint_bytes);
+ChainSpec finderSpec(u64 footprint_bytes, u64 internal_bytes);
+
+} // namespace exma
+
+#endif // EXMA_BASELINES_DEVICE_MODELS_HH

@@ -1,0 +1,62 @@
+#include "common/bitvector.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+BitVector::BitVector(u64 n)
+    : n_bits_(n), words_((n + 63) / 64, 0)
+{
+}
+
+void
+BitVector::set(u64 i)
+{
+    exma_assert(i < n_bits_, "bit index %llu out of range %llu",
+                (unsigned long long)i, (unsigned long long)n_bits_);
+    words_[i >> 6] |= (u64{1} << (i & 63));
+}
+
+void
+BitVector::buildRank()
+{
+    const u64 n_blocks = (words_.size() + 7) / 8;
+    super_.assign(n_blocks + 1, 0);
+    u64 acc = 0;
+    for (u64 b = 0; b < n_blocks; ++b) {
+        super_[b] = acc;
+        const u64 lo = b * 8;
+        const u64 hi = std::min<u64>(lo + 8, words_.size());
+        for (u64 w = lo; w < hi; ++w)
+            acc += static_cast<u64>(std::popcount(words_[w]));
+    }
+    super_[n_blocks] = acc;
+    ones_ = acc;
+}
+
+u64
+BitVector::rank1(u64 i) const
+{
+    exma_assert(i <= n_bits_, "rank index %llu out of range %llu",
+                (unsigned long long)i, (unsigned long long)n_bits_);
+    const u64 word = i >> 6;
+    const u64 block = word >> 3;
+    u64 r = super_[block];
+    for (u64 w = block * 8; w < word; ++w)
+        r += static_cast<u64>(std::popcount(words_[w]));
+    const u64 bit = i & 63;
+    if (bit)
+        r += static_cast<u64>(std::popcount(words_[word] &
+                                            ((u64{1} << bit) - 1)));
+    return r;
+}
+
+u64
+BitVector::sizeBytes() const
+{
+    return words_.size() * 8 + super_.size() * 8 + sizeof(*this);
+}
+
+} // namespace exma

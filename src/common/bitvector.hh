@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Succinct bit vector with O(1) rank queries.
+ *
+ * Used by the FM-Index locate machinery (sampled suffix-array rows) and
+ * anywhere a compact marked-set with rank is needed. Layout: raw 64-bit
+ * words plus a cumulative popcount checkpoint every 8 words (512 bits).
+ */
+
+#ifndef EXMA_COMMON_BITVECTOR_HH
+#define EXMA_COMMON_BITVECTOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Create an all-zero bit vector of @p n bits. */
+    explicit BitVector(u64 n);
+
+    /** Number of bits. */
+    u64 size() const { return n_bits_; }
+
+    /** Set bit @p i to 1. Invalidates rank checkpoints until build(). */
+    void set(u64 i);
+
+    /** Read bit @p i. */
+    bool
+    get(u64 i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Build rank checkpoints; must be called after the last set(). */
+    void buildRank();
+
+    /** Number of 1-bits in [0, i). Requires buildRank() first. */
+    u64 rank1(u64 i) const;
+
+    /** Total number of 1-bits. */
+    u64 ones() const { return ones_; }
+
+    /** Approximate heap footprint in bytes. */
+    u64 sizeBytes() const;
+
+  private:
+    u64 n_bits_ = 0;
+    u64 ones_ = 0;
+    std::vector<u64> words_;
+    std::vector<u64> super_; ///< cumulative popcount before each 8-word block
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_BITVECTOR_HH

@@ -1,0 +1,46 @@
+#include "common/dna.hh"
+
+namespace exma {
+
+std::vector<Base>
+encodeSeq(std::string_view s)
+{
+    std::vector<Base> out;
+    out.reserve(s.size());
+    for (char c : s)
+        out.push_back(charToBase(c));
+    return out;
+}
+
+std::string
+decodeSeq(const std::vector<Base> &seq)
+{
+    std::string out;
+    out.reserve(seq.size());
+    for (Base b : seq)
+        out.push_back(baseToChar(b));
+    return out;
+}
+
+std::vector<Base>
+reverseComplement(const std::vector<Base> &seq)
+{
+    std::vector<Base> out;
+    out.reserve(seq.size());
+    for (auto it = seq.rbegin(); it != seq.rend(); ++it)
+        out.push_back(complementBase(*it));
+    return out;
+}
+
+std::string
+kmerToString(Kmer m, int k)
+{
+    std::string s(static_cast<size_t>(k), 'A');
+    for (int i = k - 1; i >= 0; --i) {
+        s[static_cast<size_t>(i)] = baseToChar(static_cast<Base>(m & 3));
+        m >>= 2;
+    }
+    return s;
+}
+
+} // namespace exma

@@ -1,0 +1,47 @@
+#include "common/event_sim.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    exma_assert(when >= now_, "scheduling into the past: %llu < %llu",
+                (unsigned long long)when, (unsigned long long)now_);
+    pq_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (pq_.empty())
+        return false;
+    // priority_queue::top() returns a const ref; move out via const_cast
+    // is UB, so copy the callback handle (cheap: std::function).
+    Event ev = pq_.top();
+    pq_.pop();
+    now_ = ev.when;
+    ev.fn();
+    return true;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!pq_.empty() && pq_.top().when <= limit)
+        step();
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+} // namespace exma

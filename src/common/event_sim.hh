@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Minimal deterministic discrete-event simulation core.
+ *
+ * Every cycle-level model in this repository (DRAM channels, the EXMA
+ * accelerator pipeline, baseline device models) advances time through a
+ * single EventQueue. Ticks are picoseconds (see common/types.hh), which
+ * lets an 800 MHz accelerator clock (1250 ps) and a DDR4-2400 command
+ * clock (833 ps) coexist without fractional cycles.
+ */
+
+#ifndef EXMA_COMMON_EVENT_SIM_HH
+#define EXMA_COMMON_EVENT_SIM_HH
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * fire in scheduling order (a monotone sequence number breaks ties), so
+ * simulations are bit-for-bit deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** True if no events remain. */
+    bool empty() const { return pq_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const { return pq_.size(); }
+
+    /** Run until the queue drains. Returns the final time. */
+    Tick run();
+
+    /** Run events with time <= @p limit. Returns the current time. */
+    Tick runUntil(Tick limit);
+
+    /** Pop and execute exactly one event. Returns false if empty. */
+    bool step();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        u64 seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    u64 next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> pq_;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_EVENT_SIM_HH

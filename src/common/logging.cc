@@ -1,0 +1,62 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace exma {
+
+std::string
+vstrformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+strformat(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", m.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &m)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", m.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &m)
+{
+    std::fprintf(stderr, "warn: %s\n", m.c_str());
+}
+
+void
+informImpl(const std::string &m)
+{
+    std::fprintf(stdout, "info: %s\n", m.c_str());
+}
+
+} // namespace detail
+} // namespace exma

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic/fatal for errors, warn/inform
+ * for user-visible status. printf-style formatting.
+ */
+
+#ifndef EXMA_COMMON_LOGGING_HH
+#define EXMA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace exma {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrformat(const char *fmt, va_list ap);
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &m);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &m);
+void warnImpl(const std::string &m);
+void informImpl(const std::string &m);
+
+} // namespace detail
+
+/**
+ * panic: a condition that indicates a bug in this simulator itself
+ * occurred. Aborts so a debugger/core dump can inspect the state.
+ */
+#define exma_panic(...) \
+    ::exma::detail::panicImpl(__FILE__, __LINE__, \
+                              ::exma::strformat(__VA_ARGS__))
+
+/**
+ * fatal: the simulation cannot continue due to a user-caused condition
+ * (bad configuration, invalid arguments). Exits with an error code.
+ */
+#define exma_fatal(...) \
+    ::exma::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::exma::strformat(__VA_ARGS__))
+
+/** warn: something may be modelled imperfectly; simulation continues. */
+#define exma_warn(...) \
+    ::exma::detail::warnImpl(::exma::strformat(__VA_ARGS__))
+
+/** inform: neutral status message for the user. */
+#define exma_inform(...) \
+    ::exma::detail::informImpl(::exma::strformat(__VA_ARGS__))
+
+/** assert-like check that is kept in release builds. */
+#define exma_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::exma::detail::panicImpl(__FILE__, __LINE__, \
+                std::string("assertion failed: " #cond " — ") + \
+                ::exma::strformat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace exma
+
+#endif // EXMA_COMMON_LOGGING_HH

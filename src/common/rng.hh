@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the code base flows through these
+ * generators so that every test, example and benchmark is reproducible
+ * from a seed. SplitMix64 is used for seeding; Xoshiro256** is the
+ * workhorse generator.
+ */
+
+#ifndef EXMA_COMMON_RNG_HH
+#define EXMA_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** SplitMix64: tiny generator used to expand a seed. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(u64 seed) : state_(seed) {}
+
+    u64
+    next()
+    {
+        u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    u64 state_;
+};
+
+/** Xoshiro256**: fast, high-quality 64-bit PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &w : s_)
+            w = sm.next();
+    }
+
+    /** Uniform 64-bit word. */
+    u64
+    next()
+    {
+        u64 result = rotl(s_[1] * 5, 7) * 9;
+        u64 t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    u64
+    below(u64 n)
+    {
+        // Lemire-style rejection-free-ish reduction; bias is negligible
+        // for n << 2^64 and acceptable for simulation workloads.
+        return static_cast<u64>((static_cast<unsigned __int128>(next()) *
+                                 static_cast<unsigned __int128>(n)) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    normal()
+    {
+        if (have_spare_) {
+            have_spare_ = false;
+            return spare_;
+        }
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 6.28318530717958647692 * u2;
+        spare_ = r * std::sin(theta);
+        have_spare_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Normal with given mean/stddev. */
+    double
+    normal(double mean, double sd)
+    {
+        return mean + sd * normal();
+    }
+
+    /** Geometric-ish integer >= 1 with success probability p. */
+    u64
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        double u = uniform();
+        if (u < 1e-300)
+            u = 1e-300;
+        return 1 + static_cast<u64>(std::log(u) / std::log(1.0 - p));
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 s_[4];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_RNG_HH

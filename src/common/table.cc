@@ -1,0 +1,72 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace exma {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < widths.size(); ++i) {
+            std::string c = i < cells.size() ? cells[i] : "";
+            os << c << std::string(widths[i] - c.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+TextTable::bytes(double v)
+{
+    const char *unit = "B";
+    if (v >= 1e9) { v /= 1e9; unit = "GB"; }
+    else if (v >= 1e6) { v /= 1e6; unit = "MB"; }
+    else if (v >= 1e3) { v /= 1e3; unit = "KB"; }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f%s", v, unit);
+    return buf;
+}
+
+} // namespace exma

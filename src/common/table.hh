@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fixed-width text table printer used by the benchmark harnesses to
+ * emit paper-style rows.
+ */
+
+#ifndef EXMA_COMMON_TABLE_HH
+#define EXMA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace exma {
+
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 2);
+
+    /** Format a byte count as B/KB/MB/GB with two decimals. */
+    static std::string bytes(double v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_TABLE_HH

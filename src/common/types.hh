@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental integer typedefs shared across the EXMA code base.
+ */
+
+#ifndef EXMA_COMMON_TYPES_HH
+#define EXMA_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace exma {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Index into a genome reference / BW-matrix row number. */
+using TextIndex = u64;
+
+/** Simulated time in picoseconds. */
+using Tick = u64;
+
+/** One picosecond-denominated tick per nanosecond. */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Convert a frequency in MHz to the clock period in ticks (ps). */
+constexpr Tick
+periodFromMHz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz);
+}
+
+} // namespace exma
+
+#endif // EXMA_COMMON_TYPES_HH

@@ -1,0 +1,147 @@
+#include "compress/bdi.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace exma {
+namespace {
+
+/** Load a little-endian value of @p width bytes at @p off. */
+u64
+loadLE(std::span<const u8> line, size_t off, size_t width)
+{
+    u64 v = 0;
+    for (size_t i = 0; i < width; ++i)
+        v |= static_cast<u64>(line[off + i]) << (8 * i);
+    return v;
+}
+
+/** Does signed delta d fit in @p w bytes? */
+bool
+fitsSigned(i64 d, size_t w)
+{
+    const i64 lim = i64{1} << (8 * w - 1);
+    return d >= -lim && d < lim;
+}
+
+/**
+ * Size of a base{B}-delta{W} encoding with zero immediates, or 0 if the
+ * line cannot be encoded this way. Layout: base (B bytes) + mask
+ * (k bits -> ceil(k/8) bytes) + k deltas of W bytes.
+ */
+u64
+baseDeltaSize(std::span<const u8> line, size_t base_w, size_t delta_w)
+{
+    const size_t k = kLineBytes / base_w;
+    u64 base = 0;
+    bool have_base = false;
+    for (size_t i = 0; i < k; ++i) {
+        const u64 v = loadLE(line, i * base_w, base_w);
+        const i64 from_zero = static_cast<i64>(v);
+        if (fitsSigned(from_zero, delta_w))
+            continue; // zero-immediate
+        if (!have_base) {
+            base = v;
+            have_base = true;
+            continue;
+        }
+        const i64 d = static_cast<i64>(v - base);
+        if (!fitsSigned(d, delta_w))
+            return 0;
+    }
+    return base_w + (k + 7) / 8 + k * delta_w;
+}
+
+} // namespace
+
+u64
+bdiLineSize(std::span<const u8> line)
+{
+    exma_assert(line.size() == kLineBytes, "B∆I expects 64-byte lines");
+
+    // Zero line?
+    bool all_zero = true;
+    for (u8 b : line)
+        all_zero &= (b == 0);
+    if (all_zero)
+        return 1;
+
+    // Repeated 8-byte value?
+    bool repeated = true;
+    for (size_t i = 8; i < kLineBytes && repeated; ++i)
+        repeated = line[i] == line[i - 8];
+    u64 best = repeated ? 8 : kLineBytes;
+
+    const std::pair<size_t, size_t> shapes[] = {
+        {8, 1}, {8, 2}, {8, 4}, {4, 1}, {4, 2}, {2, 1}};
+    for (auto [bw, dw] : shapes) {
+        const u64 s = baseDeltaSize(line, bw, dw);
+        if (s != 0)
+            best = std::min(best, s);
+    }
+    return best;
+}
+
+u64
+bdiCompressedSize(std::span<const u8> data)
+{
+    u64 total = 0;
+    size_t off = 0;
+    for (; off + kLineBytes <= data.size(); off += kLineBytes)
+        total += bdiLineSize(data.subspan(off, kLineBytes));
+    total += data.size() - off; // trailing partial line kept raw
+    return total;
+}
+
+double
+bdiCompressRatio(std::span<const u8> data)
+{
+    if (data.empty())
+        return 1.0;
+    return static_cast<double>(bdiCompressedSize(data)) /
+           static_cast<double>(data.size());
+}
+
+std::vector<u8>
+bdiEncodeBase8(std::span<const u8> line, int delta_bytes)
+{
+    exma_assert(line.size() == kLineBytes, "B∆I expects 64-byte lines");
+    const size_t w = static_cast<size_t>(delta_bytes);
+    const u64 base = loadLE(line, 0, 8);
+    std::vector<u8> blob;
+    blob.reserve(8 + 8 * w);
+    for (int i = 0; i < 8; ++i)
+        blob.push_back(static_cast<u8>(base >> (8 * i)));
+    for (size_t v = 0; v < 8; ++v) {
+        const i64 d =
+            static_cast<i64>(loadLE(line, v * 8, 8) - base);
+        if (!fitsSigned(d, w))
+            return {};
+        for (size_t i = 0; i < w; ++i)
+            blob.push_back(static_cast<u8>(static_cast<u64>(d) >> (8 * i)));
+    }
+    return blob;
+}
+
+std::vector<u8>
+bdiDecodeBase8(std::span<const u8> blob, int delta_bytes)
+{
+    const size_t w = static_cast<size_t>(delta_bytes);
+    exma_assert(blob.size() == 8 + 8 * w, "bad B∆I blob");
+    const u64 base = loadLE(blob, 0, 8);
+    std::vector<u8> line(kLineBytes);
+    for (size_t v = 0; v < 8; ++v) {
+        u64 d = loadLE(blob, 8 + v * w, w);
+        // Sign-extend.
+        if (w < 8 && (d >> (8 * w - 1)) & 1)
+            d |= ~((u64{1} << (8 * w)) - 1);
+        const u64 val = base + d;
+        for (size_t i = 0; i < 8; ++i)
+            line[v * 8 + i] = static_cast<u8>(val >> (8 * i));
+    }
+    return line;
+}
+
+} // namespace exma

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Base-Delta-Immediate (B∆I) cache-line compression (Pekhimenko et al.,
+ * PACT 2012) — the baseline the paper compares CHAIN against (Fig. 17a,
+ * Fig. 23). A 64-byte line is stored as one base value plus narrow
+ * deltas; values near zero are kept as immediates.
+ */
+
+#ifndef EXMA_COMPRESS_BDI_HH
+#define EXMA_COMPRESS_BDI_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** Cache-line granularity used by both codecs. */
+constexpr size_t kLineBytes = 64;
+
+/**
+ * Best achievable B∆I encoding size (bytes) for one 64-byte line.
+ * Tries zero-line, repeated-value, and all base{8,4,2}-delta{1,2,4}
+ * encodings with a zero-immediate mask, like the original design.
+ */
+u64 bdiLineSize(std::span<const u8> line);
+
+/** Compressed size of a whole buffer, processed in 64-byte lines. */
+u64 bdiCompressedSize(std::span<const u8> data);
+
+/** compressed / original ratio for a buffer (1.0 = incompressible). */
+double bdiCompressRatio(std::span<const u8> data);
+
+/**
+ * Reference encoder/decoder for the base8-delta family, used by tests
+ * to prove the size accounting corresponds to a real reversible code.
+ * Returns empty if the line does not fit the requested delta width.
+ */
+std::vector<u8> bdiEncodeBase8(std::span<const u8> line, int delta_bytes);
+std::vector<u8> bdiDecodeBase8(std::span<const u8> blob, int delta_bytes);
+
+} // namespace exma
+
+#endif // EXMA_COMPRESS_BDI_HH

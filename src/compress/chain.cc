@@ -1,0 +1,111 @@
+#include "compress/chain.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace exma {
+namespace {
+
+/** Narrowest delta byte-width (1/2/4) covering all gaps, or 0 if the
+ *  values are not non-decreasing. */
+int
+deltaWidth(std::span<const u32> values)
+{
+    u32 max_delta = 0;
+    for (size_t i = 1; i < values.size(); ++i) {
+        if (values[i] < values[i - 1])
+            return 0;
+        max_delta = std::max(max_delta, values[i] - values[i - 1]);
+    }
+    if (max_delta < 256)
+        return 1;
+    if (max_delta < 65536)
+        return 2;
+    return 4;
+}
+
+} // namespace
+
+u64
+chainLineSize(std::span<const u32> values)
+{
+    exma_assert(!values.empty() && values.size() <= kChainValuesPerLine,
+                "line must hold 1..16 values");
+    const int w = deltaWidth(values);
+    if (w == 0)
+        return values.size() * 4; // unsorted line kept raw
+    const u64 encoded =
+        1 + 4 + static_cast<u64>(values.size() - 1) * static_cast<u64>(w);
+    return std::min<u64>(encoded, values.size() * 4);
+}
+
+u64
+chainCompressedSize(std::span<const u32> values)
+{
+    u64 total = 0;
+    for (size_t off = 0; off < values.size(); off += kChainValuesPerLine) {
+        const size_t n = std::min(kChainValuesPerLine, values.size() - off);
+        total += chainLineSize(values.subspan(off, n));
+    }
+    return total;
+}
+
+double
+chainCompressRatio(std::span<const u32> values)
+{
+    if (values.empty())
+        return 1.0;
+    return static_cast<double>(chainCompressedSize(values)) /
+           static_cast<double>(values.size() * 4);
+}
+
+std::vector<u8>
+chainEncode(std::span<const u32> values)
+{
+    exma_assert(!values.empty() && values.size() <= kChainValuesPerLine,
+                "line must hold 1..16 values");
+    int w = deltaWidth(values);
+    exma_assert(w != 0, "CHAIN requires sorted values");
+    std::vector<u8> blob;
+    blob.push_back(static_cast<u8>((values.size() << 3) |
+                                   static_cast<size_t>(w)));
+    for (int i = 0; i < 4; ++i)
+        blob.push_back(static_cast<u8>(values[0] >> (8 * i)));
+    for (size_t v = 1; v < values.size(); ++v) {
+        const u32 d = values[v] - values[v - 1];
+        for (int i = 0; i < w; ++i)
+            blob.push_back(static_cast<u8>(d >> (8 * i)));
+    }
+    return blob;
+}
+
+std::vector<u32>
+chainDecode(std::span<const u8> blob)
+{
+    exma_assert(blob.size() >= 5, "CHAIN blob too short");
+    const size_t n = blob[0] >> 3;
+    const int w = blob[0] & 7;
+    u32 acc = 0;
+    for (int i = 0; i < 4; ++i)
+        acc |= static_cast<u32>(blob[1 + static_cast<size_t>(i)]) << (8 * i);
+    std::vector<u32> values = {acc};
+    size_t off = 5;
+    for (size_t v = 1; v < n; ++v) {
+        u32 d = 0;
+        for (int i = 0; i < w; ++i)
+            d |= static_cast<u32>(blob[off++]) << (8 * i);
+        acc += d;
+        values.push_back(acc);
+    }
+    return values;
+}
+
+u64
+chainDecodeAdderOps(std::span<const u32> values)
+{
+    // One accumulation per delta: n-1 adds per line.
+    return values.empty() ? 0 : values.size() - 1;
+}
+
+} // namespace exma

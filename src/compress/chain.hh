@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CHAIN compression (§IV.C.4, Fig. 17b): because EXMA increments and
+ * bases are *sorted* within a 64-byte memory line, CHAIN stores the
+ * first value and the chain of consecutive differences Δi = v_i −
+ * v_{i−1}, which are far narrower than B∆I's from-one-base deltas.
+ * Decompression is a prefix sum (one adder), compression a bank of
+ * subtractors — matching the hardware cost in Table I.
+ */
+
+#ifndef EXMA_COMPRESS_CHAIN_HH
+#define EXMA_COMPRESS_CHAIN_HH
+
+#include <span>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** u32 values per 64-byte line. */
+constexpr size_t kChainValuesPerLine = 16;
+
+/**
+ * CHAIN-encoded size (bytes) for one line of up to 16 sorted u32
+ * values: 1 width tag + 4-byte first value + (n−1) deltas of the
+ * narrowest byte width that fits; incompressible lines cost 64 bytes.
+ */
+u64 chainLineSize(std::span<const u32> values);
+
+/** Compressed size of a whole u32 array, in 16-value lines. */
+u64 chainCompressedSize(std::span<const u32> values);
+
+/** compressed / original ratio for a u32 array. */
+double chainCompressRatio(std::span<const u32> values);
+
+/** Reversible encoder for one line (tests prove size accounting). */
+std::vector<u8> chainEncode(std::span<const u32> values);
+
+/** Inverse of chainEncode. */
+std::vector<u32> chainDecode(std::span<const u8> blob);
+
+/**
+ * Adder operations a hardware decompressor performs for one line — the
+ * paper's point that CHAIN decompression "requires only one adder for
+ * accumulations".
+ */
+u64 chainDecodeAdderOps(std::span<const u32> values);
+
+} // namespace exma
+
+#endif // EXMA_COMPRESS_CHAIN_HH

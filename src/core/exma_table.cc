@@ -1,0 +1,138 @@
+#include "core/exma_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "compress/chain.hh"
+#include "fmindex/suffix_array.hh"
+
+namespace exma {
+
+ExmaTable::ExmaTable(const std::vector<Base> &ref, const Config &cfg)
+    : cfg_(cfg)
+{
+    const std::vector<SaIndex> sa = buildSuffixArray(ref);
+    fm_ = std::make_unique<FmIndex>(ref, sa, cfg.fm);
+    occ_ = std::make_unique<KmerOccTable>(ref, sa, cfg.k);
+    switch (cfg.mode) {
+      case OccIndexMode::Exact:
+        break;
+      case OccIndexMode::NaiveLearned:
+        naive_ = std::make_unique<NaiveKmerIndex>(*occ_, cfg.naive);
+        break;
+      case OccIndexMode::Mtl:
+        mtl_ = std::make_unique<MtlIndex>(*occ_, cfg.mtl);
+        break;
+    }
+}
+
+IndexLookup
+ExmaTable::occ(Kmer code, u64 pos) const
+{
+    if (mtl_)
+        return mtl_->occ(code, pos);
+    if (naive_)
+        return naive_->occ(code, pos);
+    IndexLookup out;
+    auto inc = occ_->increments(code);
+    out.rank = static_cast<u64>(
+        std::lower_bound(inc.begin(), inc.end(), static_cast<u32>(pos)) -
+        inc.begin());
+    out.probes = inc.empty() ? 0
+                             : static_cast<u64>(std::ceil(std::log2(
+                                   static_cast<double>(inc.size()) + 1)));
+    return out;
+}
+
+Interval
+ExmaTable::stepKmer(const Interval &iv, Kmer code, SearchStats *stats) const
+{
+    const u64 c = occ_->countBefore(code);
+    const IndexLookup lo = occ(code, iv.low);
+    const IndexLookup hi = occ(code, iv.high);
+    if (stats) {
+        ++stats->kstep_iterations;
+        stats->total_error += lo.error + hi.error;
+        stats->total_probes += lo.probes + hi.probes;
+        stats->model_lookups += lo.used_model + hi.used_model;
+    }
+    return Interval{c + lo.rank, c + hi.rank};
+}
+
+Interval
+ExmaTable::search(const std::vector<Base> &query, SearchStats *stats) const
+{
+    const int kk = k();
+    Interval iv = fm_->fullInterval();
+    size_t i = query.size();
+    const size_t rem = query.size() % static_cast<size_t>(kk);
+    while (i >= rem + static_cast<size_t>(kk)) {
+        i -= static_cast<size_t>(kk);
+        iv = stepKmer(iv, packKmer(query.data() + i, kk), stats);
+        if (iv.empty())
+            return Interval{iv.low, iv.low};
+    }
+    while (i-- > 0) {
+        iv = fm_->extend(iv, query[i]);
+        if (stats)
+            ++stats->onestep_iterations;
+        if (iv.empty())
+            return Interval{iv.low, iv.low};
+    }
+    return iv;
+}
+
+std::vector<ExmaTable::IterTrace>
+ExmaTable::traceSearch(const std::vector<Base> &query) const
+{
+    std::vector<IterTrace> trace;
+    const int kk = k();
+    Interval iv = fm_->fullInterval();
+    size_t i = query.size();
+    const size_t rem = query.size() % static_cast<size_t>(kk);
+    while (i >= rem + static_cast<size_t>(kk)) {
+        i -= static_cast<size_t>(kk);
+        const Kmer code = packKmer(query.data() + i, kk);
+        IterTrace it;
+        it.kmer = code;
+        it.pos_low = iv.low;
+        it.pos_high = iv.high;
+        it.low = occ(code, iv.low);
+        it.high = occ(code, iv.high);
+        it.base = occ_->baseOf(code);
+        trace.push_back(it);
+        const u64 c = occ_->countBefore(code);
+        iv = Interval{c + it.low.rank, c + it.high.rank};
+        if (iv.empty())
+            break;
+    }
+    return trace;
+}
+
+u64
+ExmaTable::indexParamCount() const
+{
+    if (mtl_)
+        return mtl_->paramCount();
+    if (naive_)
+        return naive_->paramCount();
+    return 0;
+}
+
+ExmaTable::SizeReport
+ExmaTable::sizeReport() const
+{
+    SizeReport r;
+    const auto &inc = occ_->allIncrements();
+    const auto &bases = occ_->baseArray();
+    r.increments_raw = inc.size() * 4;
+    r.increments_chain = chainCompressedSize(inc);
+    r.bases_raw = bases.size() * 4;
+    r.bases_chain = chainCompressedSize(bases);
+    r.index_bytes = indexParamCount(); // 8-bit quantised (§IV.D)
+    r.bwt_bytes = (rows() * 3 + 7) / 8;
+    return r;
+}
+
+} // namespace exma

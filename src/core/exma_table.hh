@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The EXMA table (§IV.A, Fig. 8) — the paper's primary data structure —
+ * bundled with its search engine: per-k-mer sorted increment lists with
+ * base pointers and the MAX sentinel convention, Occ computed through a
+ * learned index (MTL or naive) or exact binary search, k-step backward
+ * search with a 1-step FM-Index remainder path, and measured CHAIN/B∆I
+ * size accounting (Fig. 23).
+ */
+
+#ifndef EXMA_CORE_EXMA_TABLE_HH
+#define EXMA_CORE_EXMA_TABLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/dna.hh"
+#include "fmindex/fm_index.hh"
+#include "fmindex/kmer_occ.hh"
+#include "learned/mtl_index.hh"
+#include "learned/naive_kmer_index.hh"
+
+namespace exma {
+
+/** How Occ(k-mer, pos) lookups are resolved. */
+enum class OccIndexMode
+{
+    Exact,        ///< binary search over increments (no model)
+    NaiveLearned, ///< one learned hierarchy per k-mer (§IV.A)
+    Mtl,          ///< shared multi-task-learning index (§IV.B)
+};
+
+class ExmaTable
+{
+  public:
+    struct Config
+    {
+        int k = 11;
+        OccIndexMode mode = OccIndexMode::Mtl;
+        MtlIndex::Config mtl;
+        NaiveKmerIndex::Config naive;
+        FmIndex::Config fm;
+    };
+
+    /** Build everything (suffix array computed once and shared). */
+    ExmaTable(const std::vector<Base> &ref, const Config &cfg);
+
+    int k() const { return occ_->k(); }
+    u64 rows() const { return occ_->rows(); }
+
+    /** The paper's MAX sentinel: |G| + 1 (one past the last row). */
+    u64 maxSentinel() const { return rows(); }
+
+    OccIndexMode mode() const { return cfg_.mode; }
+    const KmerOccTable &occTable() const { return *occ_; }
+    const FmIndex &fmIndex() const { return *fm_; }
+    const MtlIndex *mtlIndex() const { return mtl_.get(); }
+    const NaiveKmerIndex *naiveIndex() const { return naive_.get(); }
+
+    /** Per-k-mer base pointer and occurrence count (Fig. 8). */
+    u64 baseOf(Kmer code) const { return occ_->baseOf(code); }
+    u64 frequency(Kmer code) const { return occ_->frequency(code); }
+
+    /** Instrumented Occ(k-mer, pos) through the configured index. */
+    IndexLookup occ(Kmer code, u64 pos) const;
+
+    /** Count_k(P) — cumulative rows below P (tiny, cached in SRAM). */
+    u64 countBefore(Kmer code) const { return occ_->countBefore(code); }
+
+    /** Aggregate search instrumentation for the timing models. */
+    struct SearchStats
+    {
+        u64 kstep_iterations = 0;
+        u64 onestep_iterations = 0;
+        u64 total_error = 0;
+        u64 total_probes = 0;
+        u64 model_lookups = 0;
+    };
+
+    /** One k-step iteration (two Occ lookups sharing the k-mer). */
+    Interval stepKmer(const Interval &iv, Kmer code,
+                      SearchStats *stats = nullptr) const;
+
+    /** Full backward search; equals FmIndex::search on the same ref. */
+    Interval search(const std::vector<Base> &query,
+                    SearchStats *stats = nullptr) const;
+
+    /**
+     * One recorded k-step iteration of a search, for the trace-driven
+     * accelerator timing model: the functional layer computes what is
+     * fetched; the timing layer replays when.
+     */
+    struct IterTrace
+    {
+        Kmer kmer = 0;
+        u64 pos_low = 0;     ///< pointer values entering the iteration
+        u64 pos_high = 0;
+        IndexLookup low;     ///< instrumented Occ(k-mer, low)
+        IndexLookup high;
+        u64 base = 0;        ///< base pointer (for cache addressing)
+    };
+
+    /** Run a search and record every k-step iteration. */
+    std::vector<IterTrace> traceSearch(const std::vector<Base> &query) const;
+
+    /** Index parameter count (0 in Exact mode). */
+    u64 indexParamCount() const;
+
+    /** Measured component sizes, raw and CHAIN-compressed (Fig. 23). */
+    struct SizeReport
+    {
+        u64 increments_raw = 0;
+        u64 increments_chain = 0;
+        u64 bases_raw = 0;
+        u64 bases_chain = 0;
+        u64 index_bytes = 0; ///< 8-bit-quantised parameters (Table I)
+        u64 bwt_bytes = 0;   ///< residual 1-step BWT (3 bits/symbol)
+
+        u64
+        totalRaw() const
+        {
+            return increments_raw + bases_raw + index_bytes + bwt_bytes;
+        }
+        u64
+        totalChain() const
+        {
+            return increments_chain + bases_chain + index_bytes + bwt_bytes;
+        }
+    };
+    SizeReport sizeReport() const;
+
+  private:
+    Config cfg_;
+    std::unique_ptr<FmIndex> fm_;
+    std::unique_ptr<KmerOccTable> occ_;
+    std::unique_ptr<MtlIndex> mtl_;
+    std::unique_ptr<NaiveKmerIndex> naive_;
+};
+
+} // namespace exma
+
+#endif // EXMA_CORE_EXMA_TABLE_HH

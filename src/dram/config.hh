@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DDR4 main-memory configuration. Defaults reproduce the paper's
+ * Table I system: DDR4-2400, 384 GB, 4 channels, 3 DIMMs/channel,
+ * 4 ranks/DIMM, 2 bank groups/rank, 2 banks/bank group, 16 chips/rank,
+ * 2 KB rows, tRCD-tCAS-tRP = 16-16-16.
+ */
+
+#ifndef EXMA_DRAM_CONFIG_HH
+#define EXMA_DRAM_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** DRAM page-management policy (§IV.C.3). */
+enum class PagePolicy
+{
+    Open,    ///< rows stay open until a conflict forces a precharge
+    Close,   ///< auto-precharge after every column access
+    Dynamic, ///< EXMA: keep open only while a same-row request is queued
+};
+
+struct DramConfig
+{
+    // Topology (Table I).
+    int channels = 4;
+    int dimms_per_channel = 3;
+    int ranks_per_dimm = 4;
+    int bankgroups_per_rank = 2;
+    int banks_per_bankgroup = 2;
+    int chips_per_rank = 16;
+    u64 row_bytes = 2048;
+    u64 line_bytes = 64;
+
+    // Timing in DRAM clock cycles (DDR4-2400: tCK = 833 ps).
+    Tick tck_ps = 833;
+    int tRCD = 16;
+    int tCL = 16;
+    int tRP = 16;
+    int tRAS = 39;
+    int tRTP = 9;
+    int tBL = 4;    ///< burst of 8 on a DDR bus = 4 clocks
+    int tCCD_L = 6; ///< same bank group column-to-column
+    int tCCD_S = 4;
+    int tRRD_L = 6;
+    int tRRD_S = 4;
+    int tFAW = 26;
+    int tWR = 18;
+    int tCWL = 12;
+
+    PagePolicy page_policy = PagePolicy::Close;
+
+    /**
+     * MEDAL chip-level parallelism (§III.B): each chip independently
+     * activates a 1/16 partial row and returns data on its own lanes;
+     * every per-chip ACT/RD still occupies the shared address bus.
+     */
+    bool chip_level_parallelism = false;
+
+    int ranksPerChannel() const { return dimms_per_channel * ranks_per_dimm; }
+    int banksPerRank() const { return bankgroups_per_rank * banks_per_bankgroup; }
+    int banksPerChannel() const { return ranksPerChannel() * banksPerRank(); }
+    u64 linesPerRow() const { return row_bytes / line_bytes; }
+    int tRC() const { return tRAS + tRP; }
+
+    /** Peak data bandwidth of one channel in bytes/second. */
+    double
+    channelPeakBw() const
+    {
+        // 8 bytes per clock edge pair (64-bit bus, DDR).
+        const double clocks_per_s = 1e12 / static_cast<double>(tck_ps);
+        return clocks_per_s * 16.0;
+    }
+
+    /** Peak bandwidth of the whole memory system. */
+    double peakBw() const { return channelPeakBw() * channels; }
+
+    /** The paper's Table I configuration. */
+    static DramConfig
+    ddr4_2400()
+    {
+        return DramConfig{};
+    }
+};
+
+/** Decoded physical location of a memory line. */
+struct DramCoord
+{
+    int channel = 0;
+    int rank = 0;      ///< global rank id within the channel
+    int bankgroup = 0;
+    int bank = 0;
+    u64 row = 0;
+    u64 col = 0;       ///< line index within the row
+    int chip = -1;     ///< >= 0 only in chip-level-parallelism mode
+};
+
+/**
+ * Address mapper: line-interleaved across channels, then banks, then
+ * ranks, so consecutive lines spread maximally (close-page friendly —
+ * the layout prior FM-Index accelerators assume).
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const DramConfig &cfg) : cfg_(cfg) {}
+
+    DramCoord
+    decode(u64 addr) const
+    {
+        DramCoord c;
+        u64 line = addr / cfg_.line_bytes;
+        c.col = line % cfg_.linesPerRow();
+        line /= cfg_.linesPerRow();
+        c.channel = static_cast<int>(line % cfg_.channels);
+        line /= cfg_.channels;
+        c.bank = static_cast<int>(line % cfg_.banks_per_bankgroup);
+        line /= cfg_.banks_per_bankgroup;
+        c.bankgroup = static_cast<int>(line % cfg_.bankgroups_per_rank);
+        line /= cfg_.bankgroups_per_rank;
+        c.rank = static_cast<int>(line % cfg_.ranksPerChannel());
+        line /= cfg_.ranksPerChannel();
+        c.row = line;
+        return c;
+    }
+
+  private:
+    DramConfig cfg_;
+};
+
+} // namespace exma
+
+#endif // EXMA_DRAM_CONFIG_HH

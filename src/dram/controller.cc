@@ -1,0 +1,329 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+ChannelController::ChannelController(EventQueue &eq, const DramConfig &cfg,
+                                     int channel)
+    : eq_(eq), cfg_(cfg), channel_(channel)
+{
+    const int lanes = cfg.chip_level_parallelism ? cfg.chips_per_rank : 1;
+    const int n_banks = cfg.banksPerChannel() * lanes;
+    banks_.resize(static_cast<size_t>(n_banks));
+    lane_free_.assign(static_cast<size_t>(lanes), 0);
+    faw_.resize(static_cast<size_t>(cfg.ranksPerChannel()));
+    rrd_rank_.assign(static_cast<size_t>(cfg.ranksPerChannel()), 0);
+    rrd_bg_.assign(static_cast<size_t>(cfg.ranksPerChannel() *
+                                       cfg.bankgroups_per_rank),
+                   0);
+}
+
+int
+ChannelController::bankIndex(const DramCoord &c) const
+{
+    int idx = (c.rank * cfg_.bankgroups_per_rank + c.bankgroup) *
+                  cfg_.banks_per_bankgroup +
+              c.bank;
+    if (cfg_.chip_level_parallelism) {
+        exma_assert(c.chip >= 0 && c.chip < cfg_.chips_per_rank,
+                    "chip id required in chip-level-parallelism mode");
+        idx = idx * cfg_.chips_per_rank + c.chip;
+    }
+    return idx;
+}
+
+int
+ChannelController::laneIndex(const DramCoord &c) const
+{
+    return cfg_.chip_level_parallelism ? c.chip : 0;
+}
+
+u64
+ChannelController::demandKey(int bank_idx, u64 row) const
+{
+    return (static_cast<u64>(bank_idx) << 40) | row;
+}
+
+u32
+ChannelController::rowDemand(const DramCoord &c, u64 row) const
+{
+    auto it = row_demand_.find(demandKey(bankIndex(c), row));
+    return it == row_demand_.end() ? 0 : it->second;
+}
+
+void
+ChannelController::enqueue(DramRequest req)
+{
+    exma_assert(req.coord.channel == channel_, "request on wrong channel");
+    Pending p;
+    p.req = std::move(req);
+    p.arrival = eq_.now();
+    ++row_demand_[demandKey(bankIndex(p.req.coord), p.req.coord.row)];
+    queue_.push_back(std::move(p));
+    scheduleEval(eq_.now());
+}
+
+Tick
+ChannelController::actReadyAt(const DramCoord &c, Tick now) const
+{
+    const BankState &b = banks_[bankIndex(c)];
+    Tick t = std::max(now, b.next_act);
+    t = std::max(t, cmd_bus_free_);
+    const size_t rank = static_cast<size_t>(c.rank);
+    const size_t bg = static_cast<size_t>(c.rank * cfg_.bankgroups_per_rank +
+                                          c.bankgroup);
+    if (rrd_rank_[rank])
+        t = std::max(t, rrd_rank_[rank] + clk(cfg_.tRRD_S));
+    if (rrd_bg_[bg])
+        t = std::max(t, rrd_bg_[bg] + clk(cfg_.tRRD_L));
+    const auto &w = faw_[rank];
+    if (w.size() >= 4)
+        t = std::max(t, w[w.size() - 4] + clk(cfg_.tFAW));
+    return t;
+}
+
+void
+ChannelController::record(Tick t, DramCmd cmd, const DramCoord &c)
+{
+    if (log_enabled_)
+        log_.push_back(CommandRecord{t, cmd, c});
+}
+
+void
+ChannelController::touchActivity(Tick t)
+{
+    stats_.first_activity = std::min(stats_.first_activity, t);
+    stats_.last_activity = std::max(stats_.last_activity, t);
+}
+
+void
+ChannelController::scheduleEval(Tick when)
+{
+    when = std::max(when, eq_.now());
+    if (eval_pending_ && eval_tick_ <= when)
+        return;
+    // Supersede any already-scheduled (later) evaluation: only the
+    // event carrying the current generation is allowed to run, so at
+    // most one live evaluation exists per channel.
+    eval_pending_ = true;
+    eval_tick_ = when;
+    const u64 gen = ++eval_gen_;
+    eq_.schedule(when, [this, gen] {
+        if (gen != eval_gen_)
+            return; // stale: an earlier evaluation superseded this one
+        eval_pending_ = false;
+        evaluate();
+    });
+}
+
+void
+ChannelController::evaluate()
+{
+    const Tick now = eq_.now();
+    bool issued = true;
+    // Issue as many commands as legally possible at `now`; each command
+    // occupies the shared command bus for one clock, so at most one can
+    // issue per clock — the loop exits once the bus moves past `now`.
+    while (issued && !queue_.empty()) {
+        issued = false;
+        if (cmd_bus_free_ > now)
+            break;
+
+        // Pass 1 (FR-FCFS): oldest request whose open-row column
+        // command can issue right now.
+        Pending *column_ready = nullptr;
+        for (Pending &p : queue_) {
+            const DramCoord &c = p.req.coord;
+            BankState &b = bank(c);
+            if (!b.open || b.row != c.row || b.col_ready > now)
+                continue;
+            // Column-to-column spacing on the channel.
+            const int bg = c.rank * cfg_.bankgroups_per_rank + c.bankgroup;
+            const Tick ccd = last_col_tick_ +
+                             clk(bg == last_col_bg_ ? cfg_.tCCD_L
+                                                    : cfg_.tCCD_S);
+            if (last_col_tick_ && ccd > now)
+                continue;
+            // Data lane availability at data time.
+            const int lat = p.req.is_write ? cfg_.tCWL : cfg_.tCL;
+            const Tick data_start = now + clk(lat);
+            if (lane_free_[static_cast<size_t>(laneIndex(c))] > data_start)
+                continue;
+            column_ready = &p;
+            break;
+        }
+
+        if (column_ready) {
+            Pending &p = *column_ready;
+            const DramCoord &c = p.req.coord;
+            BankState &b = bank(c);
+            const int lat = p.req.is_write ? cfg_.tCWL : cfg_.tCL;
+            const Tick data_start = now + clk(lat);
+            // A whole line always moves: over the full 64-bit bus in
+            // tBL clocks, or over one chip's narrow lanes (MEDAL
+            // chip-level parallelism) in chips_per_rank x tBL clocks.
+            const int burst = cfg_.chip_level_parallelism
+                                  ? cfg_.tBL * cfg_.chips_per_rank
+                                  : cfg_.tBL;
+            const Tick data_end = data_start + clk(burst);
+
+            // Page policy: close after this access or keep the row open?
+            bool keep_open = false;
+            switch (cfg_.page_policy) {
+              case PagePolicy::Open:
+                keep_open = true;
+                break;
+              case PagePolicy::Close:
+                keep_open = false;
+                break;
+              case PagePolicy::Dynamic:
+                // Keep open iff another queued request (beyond this
+                // one) wants the same row.
+                keep_open = rowDemand(c, c.row) > 1;
+                break;
+            }
+
+            const DramCmd cmd = p.req.is_write
+                                    ? (keep_open ? DramCmd::Wr : DramCmd::WrA)
+                                    : (keep_open ? DramCmd::Rd : DramCmd::RdA);
+            record(now, cmd, c);
+            cmd_bus_free_ = now + clk(1);
+            stats_.cmd_busy += clk(1);
+            last_col_tick_ = now;
+            last_col_bg_ = c.rank * cfg_.bankgroups_per_rank + c.bankgroup;
+            lane_free_[static_cast<size_t>(laneIndex(c))] = data_end;
+            stats_.data_busy += data_end - data_start;
+            stats_.bytes_transferred += cfg_.line_bytes;
+            if (p.req.is_write) {
+                ++stats_.writes;
+                b.pre_ready = std::max(b.pre_ready,
+                                       data_end + clk(cfg_.tWR));
+            } else {
+                ++stats_.reads;
+                b.pre_ready = std::max(b.pre_ready, now + clk(cfg_.tRTP));
+            }
+            if (p.needed_act)
+                ++stats_.row_misses;
+            else
+                ++stats_.row_hits;
+
+            if (!keep_open) {
+                // Auto-precharge at pre_ready.
+                ++stats_.precharges;
+                b.open = false;
+                b.next_act = std::max(b.pre_ready,
+                                      b.act_tick + clk(cfg_.tRAS)) +
+                             clk(cfg_.tRP);
+            }
+
+            ++stats_.completed;
+            stats_.total_latency_ns +=
+                static_cast<double>(data_end - p.arrival) / 1000.0;
+            touchActivity(data_end);
+
+            auto cb = std::move(p.req.on_complete);
+            // Erase the pending entry and its row-demand record.
+            const u64 key = demandKey(bankIndex(c), c.row);
+            auto dit = row_demand_.find(key);
+            if (dit != row_demand_.end() && --dit->second == 0)
+                row_demand_.erase(dit);
+            for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+                if (&*it == &p) {
+                    queue_.erase(it);
+                    break;
+                }
+            }
+            if (cb)
+                eq_.schedule(data_end, [cb = std::move(cb), data_end] {
+                    cb(data_end);
+                });
+            issued = true;
+            continue;
+        }
+
+        // Pass 2: oldest request that needs a PRE or ACT issuable now.
+        for (Pending &p : queue_) {
+            const DramCoord &c = p.req.coord;
+            BankState &b = bank(c);
+            if (b.open && b.row != c.row) {
+                // Never close a row that a queued request still wants;
+                // FR-FCFS will drain those hits first.
+                if (rowDemand(c, b.row) > 0)
+                    continue;
+                if (b.pre_ready <= now) {
+                    record(now, DramCmd::Pre, c);
+                    cmd_bus_free_ = now + clk(1);
+                    stats_.cmd_busy += clk(1);
+                    ++stats_.precharges;
+                    b.open = false;
+                    b.next_act = now + clk(cfg_.tRP);
+                    touchActivity(now);
+                    issued = true;
+                    break;
+                }
+            } else if (!b.open) {
+                if (actReadyAt(c, now) <= now) {
+                    record(now, DramCmd::Act, c);
+                    cmd_bus_free_ = now + clk(1);
+                    stats_.cmd_busy += clk(1);
+                    ++stats_.activates;
+                    b.open = true;
+                    b.row = c.row;
+                    b.act_tick = now;
+                    b.col_ready = now + clk(cfg_.tRCD);
+                    b.pre_ready = now + clk(cfg_.tRAS);
+                    b.next_act = now + clk(cfg_.tRC());
+                    p.needed_act = true;
+                    const size_t rank = static_cast<size_t>(c.rank);
+                    rrd_rank_[rank] = now;
+                    rrd_bg_[static_cast<size_t>(
+                        c.rank * cfg_.bankgroups_per_rank + c.bankgroup)] =
+                        now;
+                    faw_[rank].push_back(now);
+                    if (faw_[rank].size() > 8)
+                        faw_[rank].pop_front();
+                    touchActivity(now);
+                    issued = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (queue_.empty())
+        return;
+
+    // Nothing more can issue at `now`; find the earliest future tick at
+    // which any queued request could make progress. Requests blocked
+    // behind a row another request still needs are event-driven (the
+    // drain re-triggers evaluation), not time-driven — skip them.
+    Tick next = ~Tick{0};
+    const Tick bus = std::max(cmd_bus_free_, now + clk(1));
+    for (Pending &p : queue_) {
+        const DramCoord &c = p.req.coord;
+        BankState &b = bank(c);
+        Tick t;
+        if (b.open && b.row == c.row) {
+            t = std::max(b.col_ready, bus);
+            const int bg = c.rank * cfg_.bankgroups_per_rank + c.bankgroup;
+            if (last_col_tick_)
+                t = std::max(t, last_col_tick_ +
+                                    clk(bg == last_col_bg_ ? cfg_.tCCD_L
+                                                           : cfg_.tCCD_S));
+        } else if (b.open) {
+            if (rowDemand(c, b.row) > 0)
+                continue; // unblocked by a future column issue
+            t = std::max(b.pre_ready, bus);
+        } else {
+            t = std::max(actReadyAt(c, now), bus);
+        }
+        next = std::min(next, t);
+    }
+    if (next != ~Tick{0})
+        scheduleEval(next);
+}
+
+} // namespace exma

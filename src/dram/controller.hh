@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Cycle-level DDR4 channel controller with FR-FCFS scheduling, the
+ * three page policies (§IV.C.3), a shared one-command-per-clock
+ * address/command bus (the resource whose contention throttles MEDAL,
+ * §III.B/Fig. 7), bank/rank timing (tRCD/tCL/tRP/tRAS/tRTP/tCCD/tRRD/
+ * tFAW) and per-chip data lanes for MEDAL-style chip-level parallelism.
+ */
+
+#ifndef EXMA_DRAM_CONTROLLER_HH
+#define EXMA_DRAM_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_sim.hh"
+#include "common/types.hh"
+#include "dram/config.hh"
+
+namespace exma {
+
+/** DRAM commands (A-suffixed = with auto-precharge). */
+enum class DramCmd
+{
+    Act,
+    Pre,
+    Rd,
+    RdA,
+    Wr,
+    WrA,
+};
+
+/** One issued command, for the protocol checker. */
+struct CommandRecord
+{
+    Tick tick = 0;
+    DramCmd cmd = DramCmd::Act;
+    DramCoord coord;
+};
+
+/** A memory transaction presented to the controller. */
+struct DramRequest
+{
+    DramCoord coord;
+    bool is_write = false;
+    std::function<void(Tick)> on_complete; ///< called with finish tick
+};
+
+/** Aggregated counters across a controller's lifetime. */
+struct DramStats
+{
+    u64 activates = 0;
+    u64 precharges = 0; ///< explicit PRE plus auto-precharges
+    u64 reads = 0;
+    u64 writes = 0;
+    u64 row_hits = 0;   ///< column commands that needed no ACT
+    u64 row_misses = 0;
+    u64 bytes_transferred = 0;
+    Tick data_busy = 0; ///< ticks any data lane carried a burst
+    Tick cmd_busy = 0;
+    u64 completed = 0;
+    double total_latency_ns = 0.0; ///< arrival -> data completion
+    Tick first_activity = ~Tick{0};
+    Tick last_activity = 0;
+
+    void
+    merge(const DramStats &o)
+    {
+        activates += o.activates;
+        precharges += o.precharges;
+        reads += o.reads;
+        writes += o.writes;
+        row_hits += o.row_hits;
+        row_misses += o.row_misses;
+        bytes_transferred += o.bytes_transferred;
+        data_busy += o.data_busy;
+        cmd_busy += o.cmd_busy;
+        completed += o.completed;
+        total_latency_ns += o.total_latency_ns;
+        first_activity = std::min(first_activity, o.first_activity);
+        last_activity = std::max(last_activity, o.last_activity);
+    }
+};
+
+class ChannelController
+{
+  public:
+    ChannelController(EventQueue &eq, const DramConfig &cfg, int channel);
+
+    /** Queue a transaction (coord.channel must match this channel). */
+    void enqueue(DramRequest req);
+
+    bool idle() const { return queue_.empty(); }
+    size_t queueDepth() const { return queue_.size(); }
+
+    const DramStats &stats() const { return stats_; }
+
+    /** Enable command logging for protocol verification. */
+    void enableLog() { log_enabled_ = true; }
+    const std::vector<CommandRecord> &log() const { return log_; }
+
+  private:
+    struct BankState
+    {
+        bool open = false;
+        u64 row = 0;
+        Tick act_tick = 0;  ///< when the open row was activated
+        Tick next_act = 0;  ///< earliest next ACT (tRP/tRC honoured)
+        Tick col_ready = 0; ///< earliest RD/WR to the open row
+        Tick pre_ready = 0; ///< earliest PRE (tRAS/tRTP honoured)
+    };
+
+    struct Pending
+    {
+        DramRequest req;
+        Tick arrival = 0;
+        bool needed_act = false;
+    };
+
+    int bankIndex(const DramCoord &c) const;
+    int laneIndex(const DramCoord &c) const;
+    BankState &bank(const DramCoord &c) { return banks_[bankIndex(c)]; }
+
+    /** Earliest tick an ACT to @p c could issue, >= now. */
+    Tick actReadyAt(const DramCoord &c, Tick now) const;
+
+    /** Number of queued requests targeting (bank of @p c, @p row). */
+    u32 rowDemand(const DramCoord &c, u64 row) const;
+    u64 demandKey(int bank_idx, u64 row) const;
+
+    void evaluate();
+    void scheduleEval(Tick when);
+    void record(Tick t, DramCmd cmd, const DramCoord &c);
+    void touchActivity(Tick t);
+
+    Tick clk(int cycles) const { return static_cast<Tick>(cycles) * cfg_.tck_ps; }
+
+    EventQueue &eq_;
+    DramConfig cfg_;
+    int channel_;
+
+    std::vector<BankState> banks_;
+    std::vector<Tick> lane_free_;           ///< per data-lane group
+    std::vector<std::deque<Tick>> faw_;     ///< ACT window per rank
+    std::vector<Tick> rrd_rank_;            ///< last ACT per rank
+    std::vector<Tick> rrd_bg_;              ///< last ACT per (rank, bg)
+    Tick cmd_bus_free_ = 0;
+    Tick last_col_tick_ = 0;
+    int last_col_bg_ = -1;
+
+    std::deque<Pending> queue_;
+    /** Queued-request count per (bank, row), for O(1) policy checks. */
+    std::unordered_map<u64, u32> row_demand_;
+    bool eval_pending_ = false;
+    Tick eval_tick_ = 0;
+    u64 eval_gen_ = 0; ///< stale-event filter for scheduleEval
+
+    DramStats stats_;
+    bool log_enabled_ = false;
+    std::vector<CommandRecord> log_;
+};
+
+} // namespace exma
+
+#endif // EXMA_DRAM_CONTROLLER_HH

@@ -1,0 +1,88 @@
+#include "dram/dram_system.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+DramSystem::DramSystem(EventQueue &eq, const DramConfig &cfg)
+    : eq_(eq), cfg_(cfg), mapper_(cfg)
+{
+    for (int c = 0; c < cfg.channels; ++c)
+        channels_.push_back(
+            std::make_unique<ChannelController>(eq, cfg, c));
+}
+
+void
+DramSystem::access(u64 addr, bool is_write,
+                   std::function<void(Tick)> on_complete, int chip)
+{
+    DramRequest req;
+    req.coord = mapper_.decode(addr);
+    req.coord.chip = chip;
+    req.is_write = is_write;
+    req.on_complete = std::move(on_complete);
+    accessCoord(std::move(req));
+}
+
+void
+DramSystem::accessCoord(DramRequest req)
+{
+    exma_assert(req.coord.channel >= 0 &&
+                    req.coord.channel < cfg_.channels,
+                "bad channel %d", req.coord.channel);
+    channels_[static_cast<size_t>(req.coord.channel)]->enqueue(
+        std::move(req));
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &c : channels_)
+        if (!c->idle())
+            return false;
+    return true;
+}
+
+DramStats
+DramSystem::stats() const
+{
+    DramStats s;
+    for (const auto &c : channels_)
+        s.merge(c->stats());
+    return s;
+}
+
+double
+DramSystem::bandwidthUtilization() const
+{
+    const DramStats s = stats();
+    if (s.last_activity <= s.first_activity)
+        return 0.0;
+    // Fig. 21's definition: data fetched over peak deliverable bytes in
+    // the active window.
+    const double window_s =
+        static_cast<double>(s.last_activity - s.first_activity) * 1e-12;
+    return static_cast<double>(s.bytes_transferred) /
+           (cfg_.peakBw() * window_s);
+}
+
+double
+DramSystem::avgLatencyNs() const
+{
+    const DramStats s = stats();
+    return s.completed ? s.total_latency_ns /
+                             static_cast<double>(s.completed)
+                       : 0.0;
+}
+
+double
+DramSystem::rowHitRate() const
+{
+    const DramStats s = stats();
+    const u64 cols = s.row_hits + s.row_misses;
+    return cols ? static_cast<double>(s.row_hits) /
+                      static_cast<double>(cols)
+                : 0.0;
+}
+
+} // namespace exma

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-channel DDR4 memory system facade: address decoding, per-channel
+ * controllers, aggregate statistics, bandwidth-utilization and latency
+ * summaries (Fig. 21's metric), and the energy report hook.
+ */
+
+#ifndef EXMA_DRAM_DRAM_SYSTEM_HH
+#define EXMA_DRAM_DRAM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/event_sim.hh"
+#include "dram/controller.hh"
+
+namespace exma {
+
+class DramSystem
+{
+  public:
+    DramSystem(EventQueue &eq, const DramConfig &cfg);
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Queue a transaction by physical address. */
+    void access(u64 addr, bool is_write,
+                std::function<void(Tick)> on_complete,
+                int chip = -1);
+
+    /** Queue a pre-decoded transaction. */
+    void accessCoord(DramRequest req);
+
+    bool idle() const;
+
+    /** Aggregate statistics over all channels. */
+    DramStats stats() const;
+
+    /**
+     * Fraction of the data-bus capacity carrying bursts over the active
+     * window (Fig. 21's "bandwidth utilization").
+     */
+    double bandwidthUtilization() const;
+
+    /** Mean request latency (arrival to last data beat) in ns. */
+    double avgLatencyNs() const;
+
+    /** Row-buffer hit rate over all column accesses. */
+    double rowHitRate() const;
+
+    ChannelController &channel(int i) { return *channels_[static_cast<size_t>(i)]; }
+
+    const AddressMapper &mapper() const { return mapper_; }
+
+  private:
+    EventQueue &eq_;
+    DramConfig cfg_;
+    AddressMapper mapper_;
+    std::vector<std::unique_ptr<ChannelController>> channels_;
+};
+
+} // namespace exma
+
+#endif // EXMA_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,37 @@
+#include "dram/energy.hh"
+
+namespace exma {
+
+int
+totalChips(const DramConfig &cfg)
+{
+    return cfg.channels * cfg.dimms_per_channel * cfg.ranks_per_dimm *
+           cfg.chips_per_rank;
+}
+
+DramEnergyReport
+dramEnergy(const DramStats &stats, Tick elapsed, const DramConfig &cfg,
+           const DramEnergyParams &params, bool chip_mode)
+{
+    DramEnergyReport r;
+    const double act_scale =
+        chip_mode ? 1.0 / static_cast<double>(cfg.chips_per_rank) : 1.0;
+    r.act_j = static_cast<double>(stats.activates) * params.act_nj *
+              act_scale * 1e-9;
+
+    const double bytes_scale =
+        chip_mode ? 1.0 / static_cast<double>(cfg.chips_per_rank) : 1.0;
+    r.rw_j = (static_cast<double>(stats.reads) * params.rd_nj +
+              static_cast<double>(stats.writes) * params.wr_nj) *
+             bytes_scale * 1e-9;
+
+    const double seconds = static_cast<double>(elapsed) * 1e-12;
+    r.background_j = params.background_mw_per_chip * 1e-3 *
+                     static_cast<double>(totalChips(cfg)) * seconds;
+
+    if (seconds > 0.0)
+        r.avg_power_w = r.totalJoules() / seconds;
+    return r;
+}
+
+} // namespace exma

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DRAMPower-style energy model: per-command energies derived from DDR4
+ * IDD current classes plus a background term proportional to chip-time.
+ * The paper models its 384 GB DDR4 system at ~72 W (Table II "Mem
+ * Power"); these defaults land in that regime.
+ */
+
+#ifndef EXMA_DRAM_ENERGY_HH
+#define EXMA_DRAM_ENERGY_HH
+
+#include "common/types.hh"
+#include "dram/controller.hh"
+
+namespace exma {
+
+struct DramEnergyParams
+{
+    /** ACT+PRE energy for a full-row activation across a rank (nJ). */
+    double act_nj = 18.0;
+    /** One 64-byte read burst incl. chip I/O (nJ). */
+    double rd_nj = 11.0;
+    /** One 64-byte write burst (nJ). */
+    double wr_nj = 12.0;
+    /** Background (standby + refresh blend) per chip (mW). */
+    double background_mw_per_chip = 90.0;
+};
+
+struct DramEnergyReport
+{
+    double act_j = 0.0;
+    double rw_j = 0.0;
+    double background_j = 0.0;
+
+    double chipJoules() const { return act_j + rw_j + background_j * 0.85; }
+    double ioJoules() const { return background_j * 0.15 + rw_j * 0.3; }
+    double totalJoules() const { return act_j + rw_j + background_j; }
+
+    /** Average power over the elapsed window (W). */
+    double avg_power_w = 0.0;
+};
+
+/**
+ * Energy for a command mix over @p elapsed simulated time.
+ * @param total_chips all chips in the system (background scales with
+ *        capacity — the dominant term for a 384 GB system).
+ * @param chip_mode   MEDAL-style partial-row activations cost
+ *        1/chips_per_rank of a full-row ACT.
+ */
+DramEnergyReport dramEnergy(const DramStats &stats, Tick elapsed,
+                            const DramConfig &cfg,
+                            const DramEnergyParams &params,
+                            bool chip_mode = false);
+
+/** Total chips in the configured system. */
+int totalChips(const DramConfig &cfg);
+
+} // namespace exma
+
+#endif // EXMA_DRAM_ENERGY_HH

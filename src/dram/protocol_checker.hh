@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Offline DDR4 protocol checker: replays a controller's command log and
+ * verifies every inter-command timing constraint independently of the
+ * controller's own bookkeeping. Used by the test suite to prove the
+ * timing model honours the JEDEC-style rules it claims to.
+ */
+
+#ifndef EXMA_DRAM_PROTOCOL_CHECKER_HH
+#define EXMA_DRAM_PROTOCOL_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "dram/controller.hh"
+
+namespace exma {
+
+struct ProtocolViolation
+{
+    size_t index = 0;     ///< offending command's position in the log
+    std::string rule;     ///< e.g.\ "tRCD"
+    std::string detail;
+};
+
+class ProtocolChecker
+{
+  public:
+    explicit ProtocolChecker(const DramConfig &cfg) : cfg_(cfg) {}
+
+    /** Check a single channel's command log. */
+    std::vector<ProtocolViolation>
+    check(const std::vector<CommandRecord> &log) const;
+
+  private:
+    DramConfig cfg_;
+};
+
+} // namespace exma
+
+#endif // EXMA_DRAM_PROTOCOL_CHECKER_HH

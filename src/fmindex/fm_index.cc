@@ -1,0 +1,168 @@
+#include "fmindex/fm_index.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+FmIndex::FmIndex(const std::vector<Base> &ref)
+    : FmIndex(ref, Config())
+{
+}
+
+FmIndex::FmIndex(const std::vector<Base> &ref, Config cfg)
+    : cfg_(cfg)
+{
+    build(ref, buildSuffixArray(ref));
+}
+
+FmIndex::FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
+    : FmIndex(ref, sa, Config())
+{
+}
+
+FmIndex::FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
+                 Config cfg)
+    : cfg_(cfg)
+{
+    build(ref, sa);
+}
+
+void
+FmIndex::build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
+{
+    const u64 n = ref.size();
+    n_rows_ = n + 1;
+    exma_assert(sa.size() == n_rows_, "suffix array size mismatch");
+    exma_assert(cfg_.occ_sample > 0 && cfg_.sa_sample > 0,
+                "sampling strides must be positive");
+
+    // BWT: symbol preceding each suffix; the sentinel precedes suffix 0.
+    bwt_.resize(n_rows_);
+    for (u64 i = 0; i < n_rows_; ++i) {
+        const u64 pos = sa[i];
+        if (pos == 0) {
+            bwt_[i] = 0;
+            primary_ = i;
+        } else {
+            bwt_[i] = static_cast<u8>(ref[pos - 1] + 1);
+        }
+    }
+
+    // Symbol totals -> Count array (cumulative over $,A,C,G,T).
+    u64 totals[kBwtAlphabet] = {};
+    for (u8 sym : bwt_)
+        ++totals[sym];
+    count_[0] = 0;
+    for (int c = 1; c <= kBwtAlphabet; ++c)
+        count_[c] = count_[c - 1] + totals[c - 1];
+
+    // Occ checkpoints, one u32 per DNA symbol per bucket.
+    const u64 n_buckets = (n_rows_ + cfg_.occ_sample - 1) / cfg_.occ_sample;
+    occ_ckpt_.assign((n_buckets + 1) * 4, 0);
+    u32 running[4] = {};
+    for (u64 i = 0; i < n_rows_; ++i) {
+        if (i % cfg_.occ_sample == 0) {
+            const u64 b = i / cfg_.occ_sample;
+            for (int c = 0; c < 4; ++c)
+                occ_ckpt_[b * 4 + static_cast<u64>(c)] = running[c];
+        }
+        if (bwt_[i] != 0)
+            ++running[bwt_[i] - 1];
+    }
+    for (int c = 0; c < 4; ++c)
+        occ_ckpt_[n_buckets * 4 + static_cast<u64>(c)] = running[c];
+
+    // Text-position-sampled SA: mark rows whose SA value is a multiple
+    // of sa_sample so every LF-walk terminates within sa_sample steps.
+    sa_sampled_ = BitVector(n_rows_);
+    std::vector<std::pair<u64, u32>> marks;
+    for (u64 i = 0; i < n_rows_; ++i)
+        if (sa[i] % cfg_.sa_sample == 0)
+            marks.emplace_back(i, sa[i]);
+    for (const auto &[row, val] : marks)
+        sa_sampled_.set(row);
+    sa_sampled_.buildRank();
+    sa_values_.resize(marks.size());
+    for (const auto &[row, val] : marks)
+        sa_values_[sa_sampled_.rank1(row)] = val;
+}
+
+u64
+FmIndex::occ(u8 sym, u64 i) const
+{
+    exma_assert(i <= n_rows_, "occ position out of range");
+    if (sym == 0)
+        return i > primary_ ? 1 : 0;
+    const u64 bucket = i / cfg_.occ_sample;
+    u64 r = occ_ckpt_[bucket * 4 + (sym - 1)];
+    for (u64 j = bucket * cfg_.occ_sample; j < i; ++j)
+        r += (bwt_[j] == sym);
+    return r;
+}
+
+Interval
+FmIndex::extend(const Interval &iv, Base c) const
+{
+    const u8 sym = static_cast<u8>(c + 1);
+    return Interval{count_[sym] + occ(sym, iv.low),
+                    count_[sym] + occ(sym, iv.high)};
+}
+
+Interval
+FmIndex::search(const std::vector<Base> &query, SearchTrace *trace) const
+{
+    Interval iv = fullInterval();
+    for (size_t i = query.size(); i-- > 0;) {
+        if (trace) {
+            trace->occ_rows.push_back(iv.low / cfg_.occ_sample);
+            trace->occ_rows.push_back(iv.high / cfg_.occ_sample);
+        }
+        iv = extend(iv, query[i]);
+        if (iv.empty())
+            return Interval{iv.low, iv.low};
+    }
+    return iv;
+}
+
+u8
+FmIndex::bwtAt(u64 row) const
+{
+    exma_assert(row < n_rows_, "row out of range");
+    return bwt_[row];
+}
+
+u64
+FmIndex::lf(u64 row) const
+{
+    const u8 sym = bwt_[row];
+    return count_[sym] + occ(sym, row);
+}
+
+u64
+FmIndex::locate(u64 row) const
+{
+    u64 steps = 0;
+    while (!sa_sampled_.get(row)) {
+        row = lf(row);
+        ++steps;
+    }
+    return sa_values_[sa_sampled_.rank1(row)] + steps;
+}
+
+std::vector<u64>
+FmIndex::locateAll(const Interval &iv, u64 limit) const
+{
+    std::vector<u64> out;
+    for (u64 row = iv.low; row < iv.high && out.size() < limit; ++row)
+        out.push_back(locate(row));
+    return out;
+}
+
+u64
+FmIndex::sizeBytes() const
+{
+    return bwt_.size() + occ_ckpt_.size() * 4 + sizeof(count_) +
+           sa_sampled_.sizeBytes() + sa_values_.size() * 4;
+}
+
+} // namespace exma

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Classic 1-step FM-Index over a DNA reference: BWT + sampled Occ
+ * buckets + Count array + sampled suffix array for locate.
+ *
+ * BWT symbol coding: $ = 0, A..T = 1..4. The BW-matrix has |ref|+1 rows
+ * (the sentinel suffix is row 0). Backward search maintains a half-open
+ * interval [low, high) of rows whose suffixes start with the current
+ * query suffix — exactly the algorithm in Fig. 3(d) of the paper.
+ */
+
+#ifndef EXMA_FMINDEX_FM_INDEX_HH
+#define EXMA_FMINDEX_FM_INDEX_HH
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/dna.hh"
+#include "common/types.hh"
+#include "fmindex/suffix_array.hh"
+
+namespace exma {
+
+/** A half-open row interval of the BW-matrix. */
+struct Interval
+{
+    u64 low = 0;
+    u64 high = 0;
+
+    bool empty() const { return high <= low; }
+    u64 count() const { return empty() ? 0 : high - low; }
+    bool operator==(const Interval &o) const = default;
+};
+
+/**
+ * Optional per-iteration trace of a backward search, used to reproduce
+ * Fig. 6(a) (the random Occ-access pattern of 1-step FM-Index).
+ */
+struct SearchTrace
+{
+    /** Occ-table rows (bucket granularity) touched, two per iteration. */
+    std::vector<u64> occ_rows;
+};
+
+class FmIndex
+{
+  public:
+    struct Config
+    {
+        u32 occ_sample = 64; ///< BWT positions per Occ checkpoint bucket
+        u32 sa_sample = 32;  ///< text-position stride of SA samples
+    };
+
+    /** Build from a DNA reference (0..3 codes). */
+    explicit FmIndex(const std::vector<Base> &ref);
+    FmIndex(const std::vector<Base> &ref, Config cfg);
+
+    /** Build reusing an already-computed suffix array of ref·$. */
+    FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa);
+    FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
+            Config cfg);
+
+    /** Number of BW-matrix rows (|ref| + 1). */
+    u64 size() const { return n_rows_; }
+
+    /** Reference length |ref|. */
+    u64 textLength() const { return n_rows_ - 1; }
+
+    /** The whole-matrix interval (initial search state). */
+    Interval fullInterval() const { return {0, n_rows_}; }
+
+    /** Count(s): number of BWT symbols lexicographically below @p sym. */
+    u64 count(u8 sym) const { return count_[sym]; }
+
+    /** Occ(s, i): occurrences of @p sym in BWT[0, i). sym is 0..4. */
+    u64 occ(u8 sym, u64 i) const;
+
+    /** One backward-search step: prepend base @p c (0..3) to the match. */
+    Interval extend(const Interval &iv, Base c) const;
+
+    /** Full backward search of @p query; optional access trace. */
+    Interval search(const std::vector<Base> &query,
+                    SearchTrace *trace = nullptr) const;
+
+    /** BWT symbol at row (0..4). */
+    u8 bwtAt(u64 row) const;
+
+    /** LF mapping: row of the suffix one position earlier in the text. */
+    u64 lf(u64 row) const;
+
+    /** Text position of the suffix at @p row (uses SA samples). */
+    u64 locate(u64 row) const;
+
+    /** Positions of up to @p limit occurrences in an interval. */
+    std::vector<u64> locateAll(const Interval &iv, u64 limit = ~u64{0}) const;
+
+    /** Approximate heap footprint. */
+    u64 sizeBytes() const;
+
+    const Config &config() const { return cfg_; }
+
+  private:
+    void build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa);
+
+    Config cfg_;
+    u64 n_rows_ = 0;
+    u64 primary_ = 0;            ///< row whose BWT symbol is the sentinel
+    std::vector<u8> bwt_;        ///< 0..4 per row ($ stored as 0)
+    std::vector<u32> occ_ckpt_;  ///< 4 checkpoints (A..T) per bucket
+    u64 count_[kBwtAlphabet + 1] = {};
+    BitVector sa_sampled_;       ///< rows with a sampled SA value
+    std::vector<u32> sa_values_; ///< sampled values, rank-indexed
+};
+
+} // namespace exma
+
+#endif // EXMA_FMINDEX_FM_INDEX_HH

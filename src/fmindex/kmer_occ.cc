@@ -1,0 +1,161 @@
+#include "fmindex/kmer_occ.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace exma {
+namespace {
+
+/**
+ * Base-5 encoding of a window that may contain the sentinel:
+ * $ = 0, A..T = 1..4, first symbol most significant. Preserves
+ * lexicographic order across mixed windows.
+ */
+u64
+encode5(const u8 *syms, int k)
+{
+    u64 code = 0;
+    for (int i = 0; i < k; ++i)
+        code = code * 5 + syms[i];
+    return code;
+}
+
+/** Base-5 code of a pure-DNA k-mer given its 2-bit packed code. */
+u64
+pureCodeTo5(Kmer code, int k)
+{
+    u64 out = 0;
+    u64 mul = 1;
+    for (int i = 0; i < k; ++i) {
+        out += ((code & 3) + 1) * mul;
+        mul *= 5;
+        code >>= 2;
+    }
+    return out;
+}
+
+} // namespace
+
+KmerOccTable::KmerOccTable(const std::vector<Base> &ref,
+                           const std::vector<SaIndex> &sa, int k)
+    : k_(k)
+{
+    build(ref, sa);
+}
+
+KmerOccTable::KmerOccTable(const std::vector<Base> &ref, int k)
+    : k_(k)
+{
+    build(ref, buildSuffixArray(ref));
+}
+
+void
+KmerOccTable::build(const std::vector<Base> &ref,
+                    const std::vector<SaIndex> &sa)
+{
+    exma_assert(k_ >= 1 && k_ <= 27, "k=%d out of supported range", k_);
+    const u64 n = ref.size();
+    n_rows_ = n + 1;
+    exma_assert(sa.size() == n_rows_, "suffix array size mismatch");
+    exma_assert(n >= static_cast<u64>(k_), "reference shorter than k");
+
+    const u64 space = kmerSpace(k_);
+    bases_.assign(space + 1, 0);
+    sentinel_windows_.clear();
+
+    // The window preceding row r: symbols of ref·$ at positions
+    // SA[r]-k .. SA[r]-1 (circular). Sentinel sits at position n.
+    std::vector<u8> window(static_cast<size_t>(k_));
+    auto window_of = [&](u64 r, bool &has_sentinel) {
+        const u64 pos = sa[r];
+        has_sentinel = false;
+        for (int j = 0; j < k_; ++j) {
+            const u64 idx =
+                (pos + n_rows_ - static_cast<u64>(k_ - j)) % n_rows_;
+            if (idx == n) {
+                window[static_cast<size_t>(j)] = 0;
+                has_sentinel = true;
+            } else {
+                window[static_cast<size_t>(j)] =
+                    static_cast<u8>(ref[idx] + 1);
+            }
+        }
+    };
+
+    // Pass 1: count occurrences per pure k-mer; collect sentinel windows.
+    for (u64 r = 0; r < n_rows_; ++r) {
+        bool has_sentinel = false;
+        window_of(r, has_sentinel);
+        if (has_sentinel) {
+            sentinel_windows_.emplace_back(encode5(window.data(), k_),
+                                           static_cast<u32>(r));
+        } else {
+            Base pure[32];
+            for (int j = 0; j < k_; ++j)
+                pure[j] = static_cast<Base>(window[static_cast<size_t>(j)] -
+                                            1);
+            ++bases_[packKmer(pure, k_) + 1];
+        }
+    }
+    exma_assert(sentinel_windows_.size() == static_cast<size_t>(k_),
+                "expected exactly k sentinel windows, got %zu",
+                sentinel_windows_.size());
+    std::sort(sentinel_windows_.begin(), sentinel_windows_.end());
+
+    // Prefix-sum the counts into base offsets; count distinct k-mers.
+    distinct_ = 0;
+    for (u64 m = 0; m < space; ++m) {
+        if (bases_[m + 1] != 0)
+            ++distinct_;
+        bases_[m + 1] += bases_[m];
+    }
+
+    // Pass 2: place rows. Iterating r ascending keeps each list sorted.
+    rows_.resize(bases_[space]);
+    std::vector<u32> cursor(bases_.begin(), bases_.end() - 1);
+    for (u64 r = 0; r < n_rows_; ++r) {
+        bool has_sentinel = false;
+        window_of(r, has_sentinel);
+        if (has_sentinel)
+            continue;
+        Base pure[32];
+        for (int j = 0; j < k_; ++j)
+            pure[j] = static_cast<Base>(window[static_cast<size_t>(j)] - 1);
+        rows_[cursor[packKmer(pure, k_)]++] = static_cast<u32>(r);
+    }
+}
+
+u64
+KmerOccTable::countBefore(Kmer code) const
+{
+    // Pure-DNA windows below `code` ...
+    u64 cnt = bases_[code];
+    // ... plus sentinel-containing windows that sort below it.
+    const u64 code5 = pureCodeTo5(code, k_);
+    for (const auto &[wcode, row] : sentinel_windows_) {
+        if (wcode < code5)
+            ++cnt;
+        else
+            break;
+    }
+    return cnt;
+}
+
+u64
+KmerOccTable::occ(Kmer code, u64 row) const
+{
+    const u32 *begin = rows_.data() + bases_[code];
+    const u32 *end = rows_.data() + bases_[code + 1];
+    return static_cast<u64>(
+        std::lower_bound(begin, end, static_cast<u32>(row)) - begin);
+}
+
+u64
+KmerOccTable::sizeBytes() const
+{
+    return bases_.size() * 4 + rows_.size() * 4 +
+           sentinel_windows_.size() * 12;
+}
+
+} // namespace exma

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Occurrence table over k-symbol windows of the BW-matrix — the shared
+ * core of the k-step FM-Index and the EXMA table.
+ *
+ * For every BW-matrix row r, the "window" is the k symbols that precede
+ * the suffix at r (circularly over ref·$). Occ_k(P, i) — the number of
+ * rows below i whose window equals P — is exactly the rank of i in the
+ * sorted list of rows where P occurs. The paper's EXMA table (Fig. 8)
+ * stores precisely these sorted row lists ("increments"), one `base`
+ * pointer per k-mer, and the per-k-mer occurrence count f_i.
+ *
+ * Windows containing the sentinel exist (there are exactly k of them,
+ * since $ occurs once); they are kept separately because DNA queries can
+ * never match them, but they must participate in the cumulative Count_k.
+ */
+
+#ifndef EXMA_FMINDEX_KMER_OCC_HH
+#define EXMA_FMINDEX_KMER_OCC_HH
+
+#include <span>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+#include "fmindex/suffix_array.hh"
+
+namespace exma {
+
+class KmerOccTable
+{
+  public:
+    /**
+     * Build from @p ref and its suffix array (of ref·$).
+     * @param k number of DNA symbols per window (the "step").
+     */
+    KmerOccTable(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
+                 int k);
+
+    /** Convenience constructor that builds its own suffix array. */
+    KmerOccTable(const std::vector<Base> &ref, int k);
+
+    int k() const { return k_; }
+
+    /** Number of BW-matrix rows (|ref| + 1). */
+    u64 rows() const { return n_rows_; }
+
+    /** Packed 2-bit code of a pure-DNA k-mer (see common/dna.hh). */
+    Kmer codeOf(const Base *bases) const { return packKmer(bases, k_); }
+
+    /**
+     * Count_k(P): number of rows whose *first* k symbols are
+     * lexicographically smaller than pure-DNA k-mer @p code
+     * (sentinel-containing windows included, $ smallest).
+     */
+    u64 countBefore(Kmer code) const;
+
+    /** Occ_k(P, row): rank of @p row among the increments of @p code. */
+    u64 occ(Kmer code, u64 row) const;
+
+    /** Number of increments (occurrences) of k-mer @p code: f_i. */
+    u64
+    frequency(Kmer code) const
+    {
+        return bases_[code + 1] - bases_[code];
+    }
+
+    /** Sorted increment rows of k-mer @p code (paper Fig. 8 columns). */
+    std::span<const u32>
+    increments(Kmer code) const
+    {
+        return {rows_.data() + bases_[code],
+                rows_.data() + bases_[code + 1]};
+    }
+
+    /** Offset of the first increment of @p code — the EXMA `base`. */
+    u64 baseOf(Kmer code) const { return bases_[code]; }
+
+    /** Concatenated increments of all pure-DNA k-mers. */
+    const std::vector<u32> &allIncrements() const { return rows_; }
+
+    /** The raw base-offset array (4^k + 1 entries, non-decreasing). */
+    const std::vector<u32> &baseArray() const { return bases_; }
+
+    /** Number of distinct pure-DNA k-mers that occur at least once. */
+    u64 distinctKmers() const { return distinct_; }
+
+    /** Approximate heap footprint. */
+    u64 sizeBytes() const;
+
+  private:
+    void build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa);
+
+    int k_;
+    u64 n_rows_ = 0;
+    u64 distinct_ = 0;
+    std::vector<u32> bases_;  ///< 4^k + 1 prefix offsets into rows_
+    std::vector<u32> rows_;   ///< concatenated sorted increment rows
+    /** Sentinel-containing windows: (base-5 code, row), sorted by code. */
+    std::vector<std::pair<u64, u32>> sentinel_windows_;
+};
+
+} // namespace exma
+
+#endif // EXMA_FMINDEX_KMER_OCC_HH

@@ -1,0 +1,47 @@
+#include "fmindex/kstep_fm.hh"
+
+#include "common/logging.hh"
+
+namespace exma {
+
+KStepFmIndex::KStepFmIndex(const FmIndex &fm, const KmerOccTable &occ)
+    : fm_(fm), occ_(occ)
+{
+    exma_assert(fm.size() == occ.rows(),
+                "1-step index and k-mer table cover different references");
+}
+
+Interval
+KStepFmIndex::stepKmer(const Interval &iv, Kmer code) const
+{
+    const u64 c = occ_.countBefore(code);
+    return Interval{c + occ_.occ(code, iv.low), c + occ_.occ(code, iv.high)};
+}
+
+Interval
+KStepFmIndex::search(const std::vector<Base> &query, KStepStats *stats) const
+{
+    const int k = occ_.k();
+    Interval iv = fm_.fullInterval();
+    size_t i = query.size();
+    const size_t rem = query.size() % static_cast<size_t>(k);
+    while (i >= rem + static_cast<size_t>(k)) {
+        i -= static_cast<size_t>(k);
+        const Kmer code = packKmer(query.data() + i, k);
+        iv = stepKmer(iv, code);
+        if (stats)
+            ++stats->kstep_iterations;
+        if (iv.empty())
+            return Interval{iv.low, iv.low};
+    }
+    while (i-- > 0) {
+        iv = fm_.extend(iv, query[i]);
+        if (stats)
+            ++stats->onestep_iterations;
+        if (iv.empty())
+            return Interval{iv.low, iv.low};
+    }
+    return iv;
+}
+
+} // namespace exma

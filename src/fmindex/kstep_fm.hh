@@ -1,0 +1,56 @@
+/**
+ * @file
+ * k-step FM-Index backward search (Chacón et al., "n-step FM-index"),
+ * processing k DNA symbols per iteration over a KmerOccTable, with a
+ * 1-step FM-Index handling the query-length remainder and locate.
+ */
+
+#ifndef EXMA_FMINDEX_KSTEP_FM_HH
+#define EXMA_FMINDEX_KSTEP_FM_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "fmindex/fm_index.hh"
+#include "fmindex/kmer_occ.hh"
+
+namespace exma {
+
+/** Per-search instrumentation for the timing models. */
+struct KStepStats
+{
+    u64 kstep_iterations = 0; ///< k-symbol Occ-pair iterations
+    u64 onestep_iterations = 0; ///< remainder 1-symbol iterations
+};
+
+class KStepFmIndex
+{
+  public:
+    /**
+     * @param fm  1-step index over the same reference (not owned).
+     * @param occ k-mer occurrence table over the same reference
+     *            (not owned).
+     */
+    KStepFmIndex(const FmIndex &fm, const KmerOccTable &occ);
+
+    int k() const { return occ_.k(); }
+
+    /** One k-step iteration: prepend k-mer @p code to the match. */
+    Interval stepKmer(const Interval &iv, Kmer code) const;
+
+    /**
+     * Full backward search. The trailing floor(|Q|/k) chunks are
+     * processed k symbols at a time; the leading |Q| mod k symbols use
+     * the 1-step index. Must return exactly FmIndex::search's interval.
+     */
+    Interval search(const std::vector<Base> &query,
+                    KStepStats *stats = nullptr) const;
+
+  private:
+    const FmIndex &fm_;
+    const KmerOccTable &occ_;
+};
+
+} // namespace exma
+
+#endif // EXMA_FMINDEX_KSTEP_FM_HH

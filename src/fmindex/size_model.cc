@@ -1,0 +1,60 @@
+#include "fmindex/size_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+u32
+addressBits(u64 genome_len)
+{
+    exma_assert(genome_len > 1, "degenerate genome length");
+    u32 bits = 0;
+    u64 v = genome_len - 1;
+    while (v) {
+        ++bits;
+        v >>= 1;
+    }
+    return bits;
+}
+
+double
+fmkSizeBytes(u64 genome_len, int k)
+{
+    const double g = static_cast<double>(genome_len);
+    const double sigma_k = std::pow(4.0, k);
+    const double d = 128.0;
+    const double occ_bits = static_cast<double>(addressBits(genome_len));
+    const double bwt_bits = std::ceil(std::log2(sigma_k + 1.0));
+    return occ_bits * g * sigma_k / (8.0 * d) + g * bwt_bits / 8.0;
+}
+
+LisaSizes
+lisaSizeBytes(u64 genome_len, int k)
+{
+    const double g = static_cast<double>(genome_len);
+    LisaSizes s;
+    const double entry_bits =
+        2.0 * k + static_cast<double>(addressBits(genome_len));
+    s.ipbwt = g * entry_bits / 8.0;
+    s.index = g / 2.0; // fixed param-to-entry ratio; ~1.5 GB at 3 Gbp
+    return s;
+}
+
+ExmaSizes
+exmaSizeBytes(u64 genome_len, int k)
+{
+    const double g = static_cast<double>(genome_len);
+    const double row_bytes =
+        std::ceil(static_cast<double>(addressBits(genome_len)) / 8.0);
+    ExmaSizes s;
+    s.increments = g * row_bytes;
+    s.bases = std::pow(4.0, k) * 4.0;
+    s.sa = g * 4.0;
+    s.index = g / 4.0; // MTL: half of LISA's parameter budget
+    s.bwt = g * 3.0 / 8.0;
+    return s;
+}
+
+} // namespace exma

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Closed-form DRAM-footprint models for the data structures compared in
+ * the paper (Fig. 6b, Fig. 10a, Fig. 23, Table II "Mem"). These are
+ * evaluated both at reproduction scale and at the paper's full genome
+ * sizes, since they are analytic.
+ *
+ * Conventions (calibrated against the paper's quoted numbers):
+ *  - k-step FM-Index (Eq. 2 with d = 128):
+ *      ceil(log2 G)·G·4^k / (8d)  +  G·ceil(log2(4^k+1)) / 8
+ *  - LISA: IP-BWT entries of (2k + ceil(log2 G)) bits plus a learned
+ *    index of G/2 bytes (≈1.5 GB for the 3 Gbp human genome).
+ *  - EXMA: increments G·ceil(log2 G)/8, bases 4 B · 4^k, sampled SA
+ *    4 B · G, MTL index G/4 bytes (half of LISA's parameters).
+ */
+
+#ifndef EXMA_FMINDEX_SIZE_MODEL_HH
+#define EXMA_FMINDEX_SIZE_MODEL_HH
+
+#include "common/types.hh"
+
+namespace exma {
+
+/** Bits needed to address a G-base genome. */
+u32 addressBits(u64 genome_len);
+
+/** k-step FM-Index size in bytes (paper Eq. 2, d = 128). */
+double fmkSizeBytes(u64 genome_len, int k);
+
+/** Component breakdown of LISA's footprint. */
+struct LisaSizes
+{
+    double ipbwt = 0.0;
+    double index = 0.0;
+    double total() const { return ipbwt + index; }
+};
+LisaSizes lisaSizeBytes(u64 genome_len, int k);
+
+/** Component breakdown of an EXMA table's footprint (Fig. 10a). */
+struct ExmaSizes
+{
+    double increments = 0.0;
+    double bases = 0.0;
+    double sa = 0.0;
+    double index = 0.0;
+    double bwt = 0.0; ///< the residual 1-step BWT kept for remainders
+    double total() const { return increments + bases + sa + index + bwt; }
+};
+ExmaSizes exmaSizeBytes(u64 genome_len, int k);
+
+} // namespace exma
+
+#endif // EXMA_FMINDEX_SIZE_MODEL_HH

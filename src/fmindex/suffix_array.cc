@@ -1,0 +1,196 @@
+#include "fmindex/suffix_array.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace exma {
+namespace {
+
+constexpr SaIndex kEmpty = std::numeric_limits<SaIndex>::max();
+
+/** Compute bucket start (end=false) or end (end=true) offsets. */
+void
+getBuckets(const u32 *s, u32 n, u32 sigma, std::vector<u32> &bkt, bool end)
+{
+    std::fill(bkt.begin(), bkt.end(), 0);
+    for (u32 i = 0; i < n; ++i)
+        ++bkt[s[i]];
+    u32 sum = 0;
+    for (u32 c = 0; c < sigma; ++c) {
+        sum += bkt[c];
+        bkt[c] = end ? sum : sum - bkt[c];
+    }
+}
+
+/** Induce-sort L-type suffixes from sorted LMS suffixes. */
+void
+induceL(const u32 *s, SaIndex *sa, u32 n, u32 sigma,
+        const std::vector<bool> &stype, std::vector<u32> &bkt)
+{
+    getBuckets(s, n, sigma, bkt, false);
+    for (u32 i = 0; i < n; ++i) {
+        SaIndex j = sa[i];
+        if (j != kEmpty && j > 0 && !stype[j - 1])
+            sa[bkt[s[j - 1]]++] = j - 1;
+    }
+}
+
+/** Induce-sort S-type suffixes after L-types are in place. */
+void
+induceS(const u32 *s, SaIndex *sa, u32 n, u32 sigma,
+        const std::vector<bool> &stype, std::vector<u32> &bkt)
+{
+    getBuckets(s, n, sigma, bkt, true);
+    for (u32 i = n; i-- > 0;) {
+        SaIndex j = sa[i];
+        if (j != kEmpty && j > 0 && stype[j - 1])
+            sa[--bkt[s[j - 1]]] = j - 1;
+    }
+}
+
+/**
+ * Core SA-IS recursion. @p s must end with a unique smallest sentinel
+ * (value 0 occurring exactly once, at position n-1).
+ */
+void
+saIs(const u32 *s, SaIndex *sa, u32 n, u32 sigma)
+{
+    exma_assert(n > 0, "empty string in saIs");
+    if (n == 1) {
+        sa[0] = 0;
+        return;
+    }
+
+    // Classify suffixes: S-type if smaller than successor suffix.
+    std::vector<bool> stype(n, false);
+    stype[n - 1] = true;
+    for (u32 i = n - 1; i-- > 0;)
+        stype[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && stype[i + 1]);
+
+    auto is_lms = [&](u32 i) { return i > 0 && stype[i] && !stype[i - 1]; };
+
+    std::vector<u32> bkt(sigma);
+
+    // Stage 1: place LMS suffixes at bucket ends and induce-sort.
+    std::fill(sa, sa + n, kEmpty);
+    getBuckets(s, n, sigma, bkt, true);
+    for (u32 i = 1; i < n; ++i)
+        if (is_lms(i))
+            sa[--bkt[s[i]]] = i;
+    induceL(s, sa, n, sigma, stype, bkt);
+    induceS(s, sa, n, sigma, stype, bkt);
+
+    // Compact the sorted LMS suffixes into the front of sa.
+    u32 n1 = 0;
+    for (u32 i = 0; i < n; ++i)
+        if (sa[i] != kEmpty && is_lms(sa[i]))
+            sa[n1++] = sa[i];
+
+    // Name LMS substrings in sa[n1..n).
+    std::fill(sa + n1, sa + n, kEmpty);
+    u32 name = 0;
+    SaIndex prev = kEmpty;
+    for (u32 i = 0; i < n1; ++i) {
+        SaIndex pos = sa[i];
+        bool diff = false;
+        if (prev == kEmpty) {
+            diff = true;
+        } else {
+            for (u32 d = 0; d < n; ++d) {
+                if (s[pos + d] != s[prev + d] ||
+                    stype[pos + d] != stype[prev + d]) {
+                    diff = true;
+                    break;
+                }
+                if (d > 0 && (is_lms(pos + d) || is_lms(prev + d)))
+                    break;
+            }
+        }
+        if (diff) {
+            ++name;
+            prev = pos;
+        }
+        sa[n1 + pos / 2] = name - 1;
+    }
+    for (u32 i = n, j = n; i-- > n1;)
+        if (sa[i] != kEmpty)
+            sa[--j] = sa[i];
+
+    // Stage 2: recurse on the reduced string if names are not unique.
+    SaIndex *sa1 = sa;
+    u32 *s1 = reinterpret_cast<u32 *>(sa) + n - n1;
+    if (name < n1) {
+        saIs(s1, sa1, n1, name);
+    } else {
+        for (u32 i = 0; i < n1; ++i)
+            sa1[s1[i]] = i;
+    }
+
+    // Stage 3: induce the full SA from the sorted LMS order.
+    for (u32 i = 1, j = 0; i < n; ++i)
+        if (is_lms(i))
+            s1[j++] = i; // s1 now maps LMS rank-in-text to position
+    for (u32 i = 0; i < n1; ++i)
+        sa1[i] = s1[sa1[i]];
+    std::fill(sa + n1, sa + n, kEmpty);
+    getBuckets(s, n, sigma, bkt, true);
+    for (u32 i = n1; i-- > 0;) {
+        SaIndex j = sa[i];
+        sa[i] = kEmpty;
+        sa[--bkt[s[j]]] = j;
+    }
+    induceL(s, sa, n, sigma, stype, bkt);
+    induceS(s, sa, n, sigma, stype, bkt);
+}
+
+} // namespace
+
+std::vector<SaIndex>
+buildSuffixArrayGeneric(const std::vector<u8> &text, u32 sigma)
+{
+    const u32 n = static_cast<u32>(text.size()) + 1;
+    std::vector<u32> s(n);
+    for (u32 i = 0; i + 1 < n; ++i) {
+        exma_assert(text[i] < sigma, "symbol %u out of range", text[i]);
+        s[i] = text[i] + 1u; // shift to make room for the sentinel
+    }
+    s[n - 1] = 0;
+    std::vector<SaIndex> sa(n);
+    saIs(s.data(), sa.data(), n, sigma + 1);
+    return sa;
+}
+
+std::vector<SaIndex>
+buildSuffixArray(const std::vector<Base> &ref)
+{
+    exma_assert(ref.size() < std::numeric_limits<u32>::max() - 2,
+                "reference too long for 32-bit suffix array");
+    std::vector<u8> text(ref.begin(), ref.end());
+    return buildSuffixArrayGeneric(text, kDnaAlphabet);
+}
+
+std::vector<SaIndex>
+buildSuffixArrayNaive(const std::vector<Base> &ref)
+{
+    const u32 n = static_cast<u32>(ref.size()) + 1;
+    std::vector<SaIndex> sa(n);
+    for (u32 i = 0; i < n; ++i)
+        sa[i] = i;
+    auto suffix_less = [&](SaIndex a, SaIndex b) {
+        while (true) {
+            const bool ea = a == n - 1, eb = b == n - 1;
+            if (ea || eb)
+                return ea && !eb;
+            if (ref[a] != ref[b])
+                return ref[a] < ref[b];
+            ++a;
+            ++b;
+        }
+    };
+    std::sort(sa.begin(), sa.end(), suffix_less);
+    return sa;
+}
+
+} // namespace exma

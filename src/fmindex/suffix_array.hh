@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Suffix-array construction via the linear-time SA-IS algorithm
+ * (Nong, Zhang, Chan 2009), plus a naive reference implementation used
+ * to cross-check it in tests.
+ *
+ * The suffix array is built over the sentinel-terminated text T$ where
+ * $ is lexicographically smallest, so SA[0] is always the sentinel
+ * suffix and the array has |T|+1 entries.
+ */
+
+#ifndef EXMA_FMINDEX_SUFFIX_ARRAY_HH
+#define EXMA_FMINDEX_SUFFIX_ARRAY_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace exma {
+
+/** Index type for suffix arrays; supports texts up to 4 Gbp. */
+using SaIndex = u32;
+
+/**
+ * Build the suffix array of ref·$ with SA-IS.
+ * @param ref DNA reference, 0..3 base codes.
+ * @return SA of length |ref|+1; SA[0] == |ref| (the sentinel suffix).
+ */
+std::vector<SaIndex> buildSuffixArray(const std::vector<Base> &ref);
+
+/**
+ * Build a suffix array over an arbitrary small-alphabet string
+ * (values in [0, sigma)), appending a unique sentinel internally.
+ * Exposed for the FMD index which uses a 6-symbol alphabet.
+ */
+std::vector<SaIndex> buildSuffixArrayGeneric(const std::vector<u8> &text,
+                                             u32 sigma);
+
+/** O(n^2 log n) reference implementation for tests. */
+std::vector<SaIndex> buildSuffixArrayNaive(const std::vector<Base> &ref);
+
+} // namespace exma
+
+#endif // EXMA_FMINDEX_SUFFIX_ARRAY_HH

@@ -1,0 +1,69 @@
+#include "genome/fasta.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+void
+writeFasta(std::ostream &os, const std::vector<FastaRecord> &records,
+           int width)
+{
+    exma_assert(width > 0, "line width must be positive");
+    for (const auto &rec : records) {
+        os << '>' << rec.name << '\n';
+        for (size_t i = 0; i < rec.seq.size();
+             i += static_cast<size_t>(width)) {
+            const size_t end =
+                std::min(rec.seq.size(), i + static_cast<size_t>(width));
+            for (size_t j = i; j < end; ++j)
+                os << baseToChar(rec.seq[j]);
+            os << '\n';
+        }
+    }
+}
+
+std::vector<FastaRecord>
+readFasta(std::istream &is)
+{
+    std::vector<FastaRecord> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            FastaRecord rec;
+            size_t end = line.find_first_of(" \t", 1);
+            rec.name = line.substr(1, end == std::string::npos
+                                          ? std::string::npos : end - 1);
+            records.push_back(std::move(rec));
+        } else if (!records.empty()) {
+            for (char c : line)
+                records.back().seq.push_back(charToBase(c));
+        }
+    }
+    return records;
+}
+
+void
+writeFastaFile(const std::string &path,
+               const std::vector<FastaRecord> &records, int width)
+{
+    std::ofstream os(path);
+    if (!os)
+        exma_fatal("cannot open '%s' for writing", path.c_str());
+    writeFasta(os, records, width);
+}
+
+std::vector<FastaRecord>
+readFastaFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        exma_fatal("cannot open '%s' for reading", path.c_str());
+    return readFasta(is);
+}
+
+} // namespace exma

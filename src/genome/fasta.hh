@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal FASTA reader/writer so examples can exchange sequences with
+ * standard bioinformatics tooling.
+ */
+
+#ifndef EXMA_GENOME_FASTA_HH
+#define EXMA_GENOME_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+
+namespace exma {
+
+/** One FASTA record. */
+struct FastaRecord
+{
+    std::string name;
+    std::vector<Base> seq;
+};
+
+/** Write records to a stream, wrapping sequence lines at @p width. */
+void writeFasta(std::ostream &os, const std::vector<FastaRecord> &records,
+                int width = 70);
+
+/** Parse all records from a stream. Ambiguous bases map to 'A'. */
+std::vector<FastaRecord> readFasta(std::istream &is);
+
+/** Convenience file-path wrappers. */
+void writeFastaFile(const std::string &path,
+                    const std::vector<FastaRecord> &records, int width = 70);
+std::vector<FastaRecord> readFastaFile(const std::string &path);
+
+} // namespace exma
+
+#endif // EXMA_GENOME_FASTA_HH

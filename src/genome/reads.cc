@@ -1,0 +1,123 @@
+#include "genome/reads.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+const ErrorProfile &
+illuminaProfile()
+{
+    static const ErrorProfile p{"Illumina", 0.0018, 0.0001, 0.0001};
+    return p;
+}
+
+const ErrorProfile &
+pacbioProfile()
+{
+    static const ErrorProfile p{"PacBio", 0.0150, 0.0902, 0.0449};
+    return p;
+}
+
+const ErrorProfile &
+ontProfile()
+{
+    static const ErrorProfile p{"ONT", 0.1650, 0.0510, 0.0840};
+    return p;
+}
+
+const std::vector<ErrorProfile> &
+allProfiles()
+{
+    static const std::vector<ErrorProfile> all = {
+        illuminaProfile(), pacbioProfile(), ontProfile()};
+    return all;
+}
+
+std::vector<Read>
+simulateReads(const std::vector<Base> &ref, const ErrorProfile &profile,
+              const ReadSimSpec &spec)
+{
+    exma_assert(!ref.empty(), "empty reference");
+    exma_assert(spec.read_len >= 8, "read length too small");
+    Rng rng(spec.seed);
+
+    u64 n_reads = spec.max_reads;
+    if (n_reads == 0) {
+        n_reads = static_cast<u64>(
+            spec.coverage * static_cast<double>(ref.size()) /
+            static_cast<double>(spec.read_len));
+        n_reads = std::max<u64>(n_reads, 1);
+    }
+
+    std::vector<Read> reads;
+    reads.reserve(n_reads);
+    for (u64 r = 0; r < n_reads; ++r) {
+        u64 len = spec.read_len;
+        if (spec.long_reads) {
+            // PBSIM-style lognormal around the mean length.
+            double mu = std::log(static_cast<double>(spec.read_len)) - 0.125;
+            len = static_cast<u64>(std::exp(rng.normal(mu, 0.5)));
+            len = std::clamp<u64>(len, 64, ref.size());
+        }
+        if (len > ref.size())
+            len = ref.size();
+
+        Read read;
+        read.true_pos = rng.below(ref.size() - len + 1);
+        read.reverse = rng.bernoulli(0.5);
+
+        // Copy the template strand.
+        std::vector<Base> tmpl(ref.begin() +
+                                   static_cast<std::ptrdiff_t>(read.true_pos),
+                               ref.begin() + static_cast<std::ptrdiff_t>(
+                                                 read.true_pos + len));
+        if (read.reverse)
+            tmpl = reverseComplement(tmpl);
+
+        // Apply the per-base error channel.
+        read.seq.reserve(len + len / 8);
+        for (Base b : tmpl) {
+            double u = rng.uniform();
+            if (u < profile.deletion)
+                continue; // base dropped
+            if (u < profile.deletion + profile.insertion) {
+                read.seq.push_back(static_cast<Base>(rng.below(4)));
+                read.seq.push_back(b);
+                continue;
+            }
+            if (u < profile.deletion + profile.insertion +
+                    profile.mismatch) {
+                read.seq.push_back(
+                    static_cast<Base>((b + 1 + rng.below(3)) & 3));
+                continue;
+            }
+            read.seq.push_back(b);
+        }
+        if (read.seq.empty())
+            read.seq.push_back(0);
+        reads.push_back(std::move(read));
+    }
+    return reads;
+}
+
+std::vector<std::vector<Base>>
+samplePatterns(const std::vector<Base> &ref, u64 count, u64 len, u64 seed)
+{
+    exma_assert(ref.size() >= len && len > 0,
+                "pattern length %llu exceeds reference %llu",
+                (unsigned long long)len, (unsigned long long)ref.size());
+    Rng rng(seed);
+    std::vector<std::vector<Base>> out;
+    out.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        u64 pos = rng.below(ref.size() - len + 1);
+        out.emplace_back(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                         ref.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    }
+    return out;
+}
+
+} // namespace exma

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Read simulators standing in for DWGSim (short reads) and PBSIM (long
+ * reads), with the error profiles the paper quotes:
+ *   (Illumina, 0.18% mismatch, 0.01% ins, 0.01% del)
+ *   (PacBio,   1.50% mismatch, 9.02% ins, 4.49% del)
+ *   (ONT 2D,  16.50% mismatch, 5.10% ins, 8.40% del)
+ */
+
+#ifndef EXMA_GENOME_READS_HH
+#define EXMA_GENOME_READS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace exma {
+
+/** Per-base error rates of a sequencing platform (fractions, not %). */
+struct ErrorProfile
+{
+    std::string name;
+    double mismatch = 0.0;
+    double insertion = 0.0;
+    double deletion = 0.0;
+
+    double total() const { return mismatch + insertion + deletion; }
+};
+
+/** The three platforms evaluated in the paper. */
+const ErrorProfile &illuminaProfile();
+const ErrorProfile &pacbioProfile();
+const ErrorProfile &ontProfile();
+const std::vector<ErrorProfile> &allProfiles();
+
+/** A simulated read with its ground truth. */
+struct Read
+{
+    std::vector<Base> seq;
+    u64 true_pos = 0;      ///< 0-based position on the forward reference
+    bool reverse = false;  ///< sampled from the reverse-complement strand
+};
+
+/** Configuration for read simulation. */
+struct ReadSimSpec
+{
+    u64 read_len = 101;     ///< mean length (exact for short reads)
+    bool long_reads = false; ///< lognormal length distribution if true
+    double coverage = 1.0;  ///< total bases ≈ coverage × |ref|
+    u64 max_reads = 0;      ///< hard cap (0 = derive from coverage)
+    u64 seed = 42;
+};
+
+/**
+ * Simulate reads from @p ref with platform profile @p profile.
+ * Short reads: fixed length (paper: 101 bp, 50× coverage, DWGSim-like).
+ * Long reads: lognormal length around read_len (paper: 1 kbp, PBSIM-like).
+ */
+std::vector<Read> simulateReads(const std::vector<Base> &ref,
+                                const ErrorProfile &profile,
+                                const ReadSimSpec &spec);
+
+/**
+ * Extract error-free patterns for raw exact-match throughput runs
+ * (used for the search-throughput figures where the metric is bases/s).
+ */
+std::vector<std::vector<Base>> samplePatterns(const std::vector<Base> &ref,
+                                              u64 count, u64 len, u64 seed);
+
+} // namespace exma
+
+#endif // EXMA_GENOME_READS_HH

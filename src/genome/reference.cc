@@ -1,0 +1,155 @@
+#include "genome/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace exma {
+
+std::vector<Base>
+generateReference(const ReferenceSpec &spec)
+{
+    exma_assert(spec.length >= 64, "reference too short: %llu",
+                (unsigned long long)spec.length);
+    Rng rng(spec.seed);
+    std::vector<Base> ref;
+    ref.reserve(spec.length);
+
+    // Base composition honouring the GC target: P(G)=P(C)=gc/2.
+    const double p_gc = spec.gc_content;
+    auto random_base = [&]() -> Base {
+        double u = rng.uniform();
+        if (u < p_gc / 2)
+            return charToBase('G');
+        if (u < p_gc)
+            return charToBase('C');
+        return rng.bernoulli(0.5) ? charToBase('A') : charToBase('T');
+    };
+
+    // Seed backbone so early repeats have something to copy from.
+    const u64 backbone = std::max<u64>(spec.length / 50, 64);
+    for (u64 i = 0; i < backbone && ref.size() < spec.length; ++i)
+        ref.push_back(random_base());
+
+    while (ref.size() < spec.length) {
+        // Short tandem repeats first: a random 1-6 bp motif copied
+        // 10-60 times. These create the heavy k-mers of Fig. 11/12.
+        if (rng.uniform() < spec.str_fraction) {
+            const u64 motif_len = 1 + rng.below(6);
+            Base motif[6];
+            for (u64 j = 0; j < motif_len; ++j)
+                motif[j] = static_cast<Base>(rng.below(4));
+            u64 copies = 10 + rng.below(50);
+            for (u64 cpy = 0; cpy < copies && ref.size() < spec.length;
+                 ++cpy)
+                for (u64 j = 0; j < motif_len &&
+                                ref.size() < spec.length;
+                     ++j)
+                    ref.push_back(motif[j]);
+            continue;
+        }
+        const bool make_repeat =
+            rng.uniform() < spec.repeat_fraction && ref.size() > 256;
+        if (make_repeat) {
+            // Copy an existing segment with point mutations: models
+            // transposable elements / segmental duplications.
+            u64 seg_len = std::max<u64>(
+                16, static_cast<u64>(rng.normal(
+                        static_cast<double>(spec.repeat_len_mean),
+                        static_cast<double>(spec.repeat_len_mean) / 3)));
+            seg_len = std::min<u64>(seg_len, ref.size());
+            seg_len = std::min<u64>(seg_len, spec.length - ref.size());
+            if (seg_len == 0)
+                break;
+            const u64 src = rng.below(ref.size() - seg_len + 1);
+            const bool rc = rng.bernoulli(0.3);
+            for (u64 i = 0; i < seg_len; ++i) {
+                Base b = rc ? complementBase(ref[src + seg_len - 1 - i])
+                            : ref[src + i];
+                if (rng.bernoulli(spec.repeat_mutation))
+                    b = static_cast<Base>((b + 1 + rng.below(3)) & 3);
+                ref.push_back(b);
+            }
+        } else {
+            u64 seg_len = std::min<u64>(1024, spec.length - ref.size());
+            for (u64 i = 0; i < seg_len; ++i)
+                ref.push_back(random_base());
+        }
+    }
+    ref.resize(spec.length);
+    return ref;
+}
+
+namespace {
+
+struct DatasetInfo
+{
+    const char *name;
+    u64 scaled_len;   // DESIGN.md default scaled size
+    u64 paper_len;    // paper full-scale size
+    double repeat_fraction;
+    u64 seed;
+};
+
+// Conifer genomes (picea/pinus) are notoriously repetitive; reflect that
+// in the repeat fraction so their k-mer increment distributions differ
+// from human the way the paper's Fig 18 discussion implies.
+const DatasetInfo kDatasets[] = {
+    {"human", 8u << 20, 3000000000ULL, 0.45, 101},
+    {"picea", 20u << 20, 20000000000ULL, 0.70, 202},
+    {"pinus", 31u << 20, 31000000000ULL, 0.72, 303},
+};
+
+const DatasetInfo *
+findDataset(const std::string &name)
+{
+    for (const auto &d : kDatasets)
+        if (name == d.name)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
+
+int
+scaledStep(u64 scaled_len, u64 paper_len, int paper_k)
+{
+    // Preserve |G| / 4^k: k_scaled = k_paper - log4(paper_len/scaled_len).
+    double shrink = std::log2(static_cast<double>(paper_len) /
+                              static_cast<double>(scaled_len)) / 2.0;
+    int k = paper_k - static_cast<int>(std::lround(shrink));
+    return std::max(k, 2);
+}
+
+Dataset
+makeDataset(const std::string &name, double scale)
+{
+    const DatasetInfo *info = findDataset(name);
+    if (!info)
+        exma_fatal("unknown dataset '%s'", name.c_str());
+
+    ReferenceSpec spec;
+    spec.length = std::max<u64>(static_cast<u64>(
+        static_cast<double>(info->scaled_len) * scale), 4096);
+    spec.repeat_fraction = info->repeat_fraction;
+    spec.seed = info->seed;
+
+    Dataset ds;
+    ds.name = name;
+    ds.ref = generateReference(spec);
+    ds.paper_length = info->paper_len;
+    ds.exma_k = scaledStep(spec.length, info->paper_len, 15);
+    ds.lisa_k = scaledStep(spec.length, info->paper_len, 21);
+    return ds;
+}
+
+const std::vector<std::string> &
+datasetNames()
+{
+    static const std::vector<std::string> names = {"human", "picea", "pinus"};
+    return names;
+}
+
+} // namespace exma

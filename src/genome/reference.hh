@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synthetic reference-genome generation.
+ *
+ * The paper evaluates on human (3 Gbp), picea glauca (20 Gbp) and pinus
+ * lambertiana (31 Gbp). Real assemblies are not available offline, so we
+ * generate synthetic references that preserve the properties the EXMA
+ * data structures care about: alphabet, length ratios, and a tunable
+ * amount of repeat content (conifer genomes like picea/pinus are highly
+ * repetitive, which shapes k-mer increment distributions).
+ *
+ * Scaled sizes default to human = 8 Mbp, picea = 20 Mbp, pinus = 31 Mbp
+ * (see DESIGN.md §5); `EXMA_BENCH_SCALE` multiplies these.
+ */
+
+#ifndef EXMA_GENOME_REFERENCE_HH
+#define EXMA_GENOME_REFERENCE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/types.hh"
+
+namespace exma {
+
+/** Parameters for synthetic reference generation. */
+struct ReferenceSpec
+{
+    u64 length = 1 << 20;        ///< number of bases
+    double repeat_fraction = 0.4; ///< fraction of bases from copied repeats
+    u64 repeat_len_mean = 3000;   ///< mean repeat segment length
+    double repeat_mutation = 0.02; ///< per-base divergence between copies
+    /** Fraction of bases in short tandem repeats (microsatellites,
+     *  homopolymer runs) — the source of the extremely hot k-mers in
+     *  the paper's Fig. 11/12. */
+    double str_fraction = 0.06;
+    double gc_content = 0.41;     ///< genome-wide GC fraction
+    u64 seed = 1;                 ///< RNG seed
+};
+
+/** Generate a synthetic reference according to @p spec. */
+std::vector<Base> generateReference(const ReferenceSpec &spec);
+
+/** A named evaluation dataset: reference plus scaling bookkeeping. */
+struct Dataset
+{
+    std::string name;       ///< human / picea / pinus
+    std::vector<Base> ref;  ///< scaled synthetic reference
+    u64 paper_length = 0;   ///< the paper's full-scale |G| in bases
+    int exma_k = 0;         ///< scaled k equivalent to the paper's k=15
+    int lisa_k = 0;         ///< scaled k equivalent to LISA-21
+};
+
+/**
+ * Build one of the paper's three datasets at reproduction scale.
+ *
+ * @param name   "human", "picea" or "pinus".
+ * @param scale  multiplies the default scaled length (1.0 = DESIGN.md
+ *               defaults; tests pass smaller values for speed).
+ */
+Dataset makeDataset(const std::string &name, double scale = 1.0);
+
+/** All three dataset names in paper order. */
+const std::vector<std::string> &datasetNames();
+
+/**
+ * Pick the k for a k-step structure at reproduction scale so that
+ * |G| / 4^k matches the paper's operating point of |G_paper| / 4^k_paper.
+ */
+int scaledStep(u64 scaled_len, u64 paper_len, int paper_k);
+
+} // namespace exma
+
+#endif // EXMA_GENOME_REFERENCE_HH

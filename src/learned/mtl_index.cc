@@ -1,0 +1,220 @@
+#include "learned/mtl_index.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "learned/rmi.hh" // LeafMoments
+
+namespace exma {
+
+int
+MtlIndex::classOf(u64 f)
+{
+    if (f == 0)
+        return 0;
+    if (f == 1)
+        return 1;
+    if (f <= 256)
+        return 2;
+    if (f <= 1024)
+        return 3;
+    if (f <= 4096)
+        return 4;
+    if (f <= 16384)
+        return 5;
+    if (f <= 65536)
+        return 6;
+    if (f <= 262144)
+        return 7;
+    if (f <= 1048576)
+        return 8;
+    return 9;
+}
+
+const char *
+MtlIndex::className(int cls)
+{
+    static const char *names[kNumClasses] = {
+        "0", "1", "2-256", "256-1K", "1K-4K", "4K-16K", "16K-64K",
+        "64K-256K", "256K-1M", ">1M"};
+    exma_assert(cls >= 0 && cls < kNumClasses, "bad class %d", cls);
+    return names[cls];
+}
+
+MtlIndex::MtlIndex(const KmerOccTable &tab, const Config &cfg)
+    : tab_(tab), cfg_(cfg)
+{
+    class_model_.fill(-1);
+    inv_kmer_space_ = 1.0 / static_cast<double>(kmerSpace(tab.k()));
+    inv_rows_ = 1.0 / static_cast<double>(tab.rows());
+
+    // Pass 1: collect the modelled k-mers per class.
+    const u64 space = kmerSpace(tab.k());
+    std::array<std::vector<Kmer>, kNumClasses> members;
+    for (Kmer m = 0; m < space; ++m) {
+        const u64 f = tab.frequency(m);
+        if (f > cfg.min_increments)
+            members[static_cast<size_t>(classOf(f))].push_back(m);
+    }
+
+    // Pass 2: train one shared MLP per populated class across its
+    // members (hard parameter sharing). Target: within-k-mer quantile,
+    // so differently sized k-mers share the same output scale.
+    Rng rng(cfg.seed);
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+        auto &mem = members[static_cast<size_t>(cls)];
+        if (mem.empty())
+            continue;
+        std::vector<Mlp::Sample> samples;
+        samples.reserve(cfg.samples_per_class);
+        for (u64 s = 0; s < cfg.samples_per_class; ++s) {
+            const Kmer m = mem[rng.below(mem.size())];
+            auto inc = tab_.increments(m);
+            const u64 i = rng.below(inc.size());
+            Mlp::Sample smp;
+            smp.x0 = static_cast<double>(m) * inv_kmer_space_;
+            smp.x1 = static_cast<double>(inc[i]) * inv_rows_;
+            smp.y = static_cast<double>(i) /
+                    static_cast<double>(inc.size());
+            samples.push_back(smp);
+        }
+        Mlp mlp(2, cfg.hidden, cfg.seed + static_cast<u64>(cls));
+        mlp.train(samples, cfg.epochs, cfg.lr);
+        class_model_[static_cast<size_t>(cls)] =
+            static_cast<int>(mlps_.size());
+        mlps_.push_back(std::move(mlp));
+    }
+
+    // Pass 3: per-k-mer linear leaves, each increment assigned by the
+    // shared root's own routing (so queries evaluate the leaf fitted on
+    // their neighbourhood).
+    std::vector<LeafMoments> acc;
+    for (int cls = 0; cls < kNumClasses; ++cls) {
+        for (const Kmer m : members[static_cast<size_t>(cls)]) {
+            auto inc = tab_.increments(m);
+            const u64 f = inc.size();
+            const u64 n_leaves = (f + cfg.leaf_size - 1) / cfg.leaf_size;
+            KmerLeaves kl;
+            kl.first_leaf = static_cast<u32>(leaves_.size());
+            kl.n_leaves = static_cast<u32>(n_leaves);
+            kl.cls = cls;
+
+            acc.assign(n_leaves, LeafMoments());
+            const double x0 = static_cast<double>(m) * inv_kmer_space_;
+            for (u64 i = 0; i < f; ++i) {
+                const double x1 =
+                    static_cast<double>(inc[i]) * inv_rows_;
+                acc[routeLeaf(kl, x0, x1)].add(x1,
+                                               static_cast<double>(i));
+            }
+            ClampedLeaf last;
+            bool have_last = false;
+            std::vector<ClampedLeaf> solved(n_leaves);
+            for (u64 j = 0; j < n_leaves; ++j) {
+                if (acc[j].n >= 0.5) {
+                    solved[j] = ClampedLeaf::from(acc[j]);
+                    last = solved[j];
+                    have_last = true;
+                } else if (have_last) {
+                    solved[j] = last;
+                }
+            }
+            for (u64 j = n_leaves; j-- > 0;) {
+                if (acc[j].n >= 0.5)
+                    last = solved[j];
+                else
+                    solved[j] = last;
+            }
+            for (auto &mdl : solved)
+                leaves_.push_back(mdl);
+            kmers_.emplace(m, kl);
+        }
+    }
+
+    params_ = leaves_.size() * LinearModel::paramCount();
+    for (const auto &mlp : mlps_)
+        params_ += mlp.paramCount();
+}
+
+u64
+MtlIndex::routeLeaf(const KmerLeaves &kl, double x0, double x1) const
+{
+    const Mlp &mlp = mlps_[static_cast<size_t>(
+        class_model_[static_cast<size_t>(kl.cls)])];
+    const double q = mlp.predict(x0, x1);
+    if (q <= 0.0)
+        return 0;
+    const u64 j = static_cast<u64>(q * static_cast<double>(kl.n_leaves));
+    return std::min<u64>(j, kl.n_leaves - 1);
+}
+
+IndexLookup
+MtlIndex::occ(Kmer code, u64 pos) const
+{
+    IndexLookup out;
+    auto inc = tab_.increments(code);
+    auto it = kmers_.find(code);
+    if (it == kmers_.end()) {
+        out.rank = static_cast<u64>(
+            std::lower_bound(inc.begin(), inc.end(),
+                             static_cast<u32>(pos)) -
+            inc.begin());
+        out.probes = inc.empty()
+                         ? 0
+                         : static_cast<u64>(std::ceil(std::log2(
+                               static_cast<double>(inc.size()) + 1)));
+        return out;
+    }
+
+    const KmerLeaves &kl = it->second;
+    const double x0 = static_cast<double>(code) * inv_kmer_space_;
+    const double x1 = static_cast<double>(pos) * inv_rows_;
+    const u64 f = inc.size();
+
+    const u64 leaf = routeLeaf(kl, x0, x1);
+    const double p = leaves_[kl.first_leaf + leaf].predict(x1);
+    u64 pred = 0;
+    if (p > 0.0)
+        pred = std::min<u64>(static_cast<u64>(p), f);
+
+    // Galloping correction around the prediction.
+    u64 probes = 0;
+    u64 lo = 0, hi = f;
+    const u32 key = static_cast<u32>(pos);
+    if (pred < f && (++probes, inc[pred] < key)) {
+        u64 step = 1;
+        lo = pred + 1;
+        while (lo + step < f && (++probes, inc[lo + step] < key)) {
+            lo += step + 1;
+            step <<= 1;
+        }
+        hi = std::min(f, lo + step + 1);
+    } else {
+        u64 step = 1;
+        hi = pred;
+        while (hi > step && (++probes, inc[hi - step] >= key)) {
+            hi -= step;
+            step <<= 1;
+        }
+        lo = hi > step ? hi - step : 0;
+    }
+    while (lo < hi) {
+        const u64 mid = lo + (hi - lo) / 2;
+        ++probes;
+        if (inc[mid] < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    out.rank = lo;
+    out.error = lo > pred ? lo - pred : pred - lo;
+    out.probes = probes;
+    out.used_model = true;
+    out.leaf_id = kl.first_leaf + leaf;
+    out.cls = kl.cls;
+    return out;
+}
+
+} // namespace exma

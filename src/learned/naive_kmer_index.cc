@@ -1,0 +1,53 @@
+#include "learned/naive_kmer_index.hh"
+
+#include <algorithm>
+
+namespace exma {
+
+NaiveKmerIndex::NaiveKmerIndex(const KmerOccTable &tab, const Config &cfg)
+    : tab_(tab), cfg_(cfg)
+{
+    const u64 space = kmerSpace(tab.k());
+    for (Kmer m = 0; m < space; ++m) {
+        const u64 f = tab.frequency(m);
+        if (f <= cfg.min_increments)
+            continue;
+        Rmi<u32>::Config rc;
+        rc.leaf_size = cfg.leaf_size;
+        rc.mlp_root = true;
+        rc.hidden = cfg.hidden;
+        rc.epochs = cfg.epochs;
+        rc.train_cap = cfg.train_cap;
+        rc.seed = cfg.seed + m;
+        auto &rmi = models_[m];
+        rmi.build(tab.increments(m), rc);
+        params_ += rmi.paramCount();
+    }
+}
+
+IndexLookup
+NaiveKmerIndex::occ(Kmer code, u64 pos) const
+{
+    IndexLookup out;
+    auto it = models_.find(code);
+    if (it != models_.end()) {
+        RmiResult r = it->second.lookup(static_cast<u32>(pos));
+        out.rank = r.rank;
+        out.error = r.error;
+        out.probes = r.probes;
+        out.used_model = true;
+        return out;
+    }
+    // Binary search over the (short) increment list.
+    auto inc = tab_.increments(code);
+    const u64 rank = static_cast<u64>(
+        std::lower_bound(inc.begin(), inc.end(), static_cast<u32>(pos)) -
+        inc.begin());
+    out.rank = rank;
+    out.probes = inc.empty() ? 0
+                             : static_cast<u64>(std::ceil(std::log2(
+                                   static_cast<double>(inc.size()) + 1)));
+    return out;
+}
+
+} // namespace exma

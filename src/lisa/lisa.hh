@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LISA search driver with a learned index (§II.B.4, Fig. 5c): a model
+ * hierarchy routes each [k-mer, pointer] lower-bound query to a linear
+ * leaf, and mispredictions are corrected by (counted) linear search —
+ * the error source quantified in the paper's Fig. 6(c).
+ *
+ * The hierarchy's top level is a radix split on the first `group_symbols`
+ * DNA symbols of the k-mer; each populated group owns a two-level RMI
+ * over the composite key (k-mer-remainder, N).
+ */
+
+#ifndef EXMA_LISA_LISA_HH
+#define EXMA_LISA_LISA_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "learned/rmi.hh"
+#include "lisa/ip_bwt.hh"
+
+namespace exma {
+
+/** Aggregated instrumentation over LISA searches. */
+struct LisaStats
+{
+    u64 iterations = 0;
+    u64 total_error = 0;
+    u64 total_probes = 0;
+    std::vector<double> error_samples; ///< per-lookup errors (Fig. 6c)
+};
+
+class Lisa
+{
+  public:
+    struct Config
+    {
+        int group_symbols = 8;  ///< radix width of the hierarchy root
+        u64 leaf_size = 4096;   ///< RMI leaf granularity per group
+        int epochs = 0;         ///< 0 = linear root (fast, default)
+        u64 seed = 5;
+    };
+
+    Lisa(const IpBwt &ipbwt, const Config &cfg);
+
+    /** Backward search via the learned index; equals IpBwt::search. */
+    Interval search(const std::vector<Base> &query,
+                    LisaStats *stats = nullptr) const;
+
+    /** Learned-index parameters (Fig. 6 discussion: ~1.5 GB at 3 Gbp). */
+    u64 paramCount() const { return params_; }
+
+    const IpBwt &ipbwt() const { return ipbwt_; }
+
+  private:
+    struct Group
+    {
+        u64 begin = 0; ///< first IP-BWT entry of this k-mer-prefix group
+        u64 end = 0;
+        std::vector<u64> keys; ///< composite (k-mer remainder, N) keys
+        Rmi<u64> rmi;
+    };
+
+    u64 lowerBoundLearned(u64 code5, u64 pos, LisaStats *stats) const;
+
+    const IpBwt &ipbwt_;
+    Config cfg_;
+    int group_syms_;
+    u64 tail_space_ = 1;  ///< 5^(k - group_syms)
+    std::unordered_map<u64, Group> groups_; ///< by base-5 prefix code
+    u64 params_ = 0;
+};
+
+} // namespace exma
+
+#endif // EXMA_LISA_LISA_HH

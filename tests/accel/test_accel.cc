@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.hh"
+#include "accel/cache.hh"
+#include "genome/reads.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+namespace {
+
+TEST(Cache, HitsAfterInsert)
+{
+    SetAssocCache cache(1024, 2);
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(32)); // same 64B line
+    EXPECT_FALSE(cache.access(4096));
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 2 sets: lines 0 and 2 map to set 0 (line-granular sets).
+    SetAssocCache cache(256, 2);
+    cache.access(0);       // set 0, way 0
+    cache.access(2 * 64);  // set 0, way 1
+    cache.access(0);       // refresh line 0
+    cache.access(4 * 64);  // evicts line 2*64 (LRU)
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(2 * 64));
+    EXPECT_TRUE(cache.probe(4 * 64));
+}
+
+TEST(Cache, HitRateTracked)
+{
+    SetAssocCache cache(1 << 20, 8);
+    for (int rep = 0; rep < 4; ++rep)
+        for (u64 a = 0; a < 64 * 100; a += 64)
+            cache.access(a);
+    EXPECT_EQ(cache.misses(), 100u);
+    EXPECT_EQ(cache.hits(), 300u);
+    EXPECT_NEAR(cache.hitRate(), 0.75, 1e-9);
+}
+
+TEST(Cache, CapacityRoundedToPowerOfTwoSets)
+{
+    SetAssocCache cache(3000, 2);
+    EXPECT_LE(cache.capacityBytes(), 3000u);
+    EXPECT_GE(cache.capacityBytes(), 1500u);
+}
+
+class AccelFixture : public ::testing::Test
+{
+  protected:
+    static const ExmaTable &
+    table()
+    {
+        static const ExmaTable tab = [] {
+            ReferenceSpec spec;
+            spec.length = 1 << 16;
+            spec.repeat_fraction = 0.5;
+            spec.seed = 71;
+            ExmaTable::Config cfg;
+            // k = 7: the 64 KB base region overwhelms the shrunken test
+            // caches, so scheduling locality actually matters.
+            cfg.k = 7;
+            cfg.mode = OccIndexMode::Mtl;
+            cfg.mtl.epochs = 30;
+            cfg.mtl.samples_per_class = 1024;
+            cfg.mtl.leaf_size = 128;
+            return ExmaTable(generateReference(spec), cfg);
+        }();
+        return tab;
+    }
+
+    static std::vector<std::vector<Base>>
+    queries(u64 n)
+    {
+        ReferenceSpec spec;
+        spec.length = 1 << 16;
+        spec.repeat_fraction = 0.5;
+        spec.seed = 71;
+        auto ref = generateReference(spec);
+        return samplePatterns(ref, n, 50, 5);
+    }
+};
+
+TEST_F(AccelFixture, ProcessesAllQueries)
+{
+    AcceleratorConfig cfg;
+    DramConfig dram = DramConfig::ddr4_2400();
+    dram.page_policy = PagePolicy::Dynamic;
+    ExmaAccelerator accel(table(), cfg, dram);
+    auto result = accel.run(queries(100));
+    EXPECT_EQ(result.queries, 100u);
+    EXPECT_EQ(result.bases, 100u * 50u);
+    EXPECT_GT(result.iterations, 0u);
+    EXPECT_GT(result.elapsed, 0u);
+}
+
+TEST_F(AccelFixture, ThroughputIsPositiveAndFinite)
+{
+    AcceleratorConfig cfg;
+    DramConfig dram = DramConfig::ddr4_2400();
+    ExmaAccelerator accel(table(), cfg, dram);
+    auto r = accel.run(queries(50));
+    EXPECT_GT(r.mbasesPerSecond(), 0.0);
+    EXPECT_LT(r.mbasesPerSecond(), 1e6);
+    EXPECT_GT(r.accelPowerW(), 0.0);
+}
+
+TEST_F(AccelFixture, TwoStageSchedulingImprovesCacheHitRates)
+{
+    DramConfig dram = DramConfig::ddr4_2400();
+    AcceleratorConfig fifo_cfg;
+    fifo_cfg.two_stage_scheduling = false;
+    AcceleratorConfig ts_cfg;
+    ts_cfg.two_stage_scheduling = true;
+    // Small caches make the scheduling effect visible at test scale.
+    fifo_cfg.base_cache_bytes = ts_cfg.base_cache_bytes = 4096;
+    fifo_cfg.index_cache_bytes = ts_cfg.index_cache_bytes = 2048;
+
+    ExmaAccelerator fifo(table(), fifo_cfg, dram);
+    ExmaAccelerator ts(table(), ts_cfg, dram);
+    auto q = queries(300);
+    auto rf = fifo.run(q);
+    auto rt = ts.run(q);
+    EXPECT_GT(rt.base_hit_rate + rt.index_hit_rate,
+              rf.base_hit_rate + rf.index_hit_rate)
+        << "2-stage should raise combined cache hit rates";
+}
+
+TEST_F(AccelFixture, DynamicPagePolicyRaisesRowHits)
+{
+    AcceleratorConfig cfg;
+    DramConfig close_cfg = DramConfig::ddr4_2400();
+    close_cfg.page_policy = PagePolicy::Close;
+    DramConfig dyn_cfg = DramConfig::ddr4_2400();
+    dyn_cfg.page_policy = PagePolicy::Dynamic;
+
+    ExmaAccelerator closed(table(), cfg, close_cfg);
+    ExmaAccelerator dynamic(table(), cfg, dyn_cfg);
+    auto q = queries(200);
+    auto rc = closed.run(q);
+    auto rd = dynamic.run(q);
+    EXPECT_GT(rd.dram_row_hit_rate, rc.dram_row_hit_rate);
+}
+
+TEST_F(AccelFixture, FullExmaFasterThanNoOptimisations)
+{
+    auto q = queries(200);
+    AcceleratorConfig base_cfg;
+    base_cfg.two_stage_scheduling = false;
+    DramConfig close_cfg = DramConfig::ddr4_2400();
+    close_cfg.page_policy = PagePolicy::Close;
+    ExmaAccelerator plain(table(), base_cfg, close_cfg);
+
+    AcceleratorConfig full_cfg;
+    DramConfig dyn_cfg = DramConfig::ddr4_2400();
+    dyn_cfg.page_policy = PagePolicy::Dynamic;
+    ExmaAccelerator full(table(), full_cfg, dyn_cfg);
+
+    auto rp = plain.run(q);
+    auto rf = full.run(q);
+    EXPECT_GT(rf.mbasesPerSecond(), rp.mbasesPerSecond());
+}
+
+TEST_F(AccelFixture, EnergyAccountingIsConsistent)
+{
+    AcceleratorConfig cfg;
+    DramConfig dram = DramConfig::ddr4_2400();
+    ExmaAccelerator accel(table(), cfg, dram);
+    auto r = accel.run(queries(50));
+    EXPECT_GT(r.accel_dynamic_j, 0.0);
+    EXPECT_GT(r.accel_leakage_j, 0.0);
+    EXPECT_GT(r.dram_energy.totalJoules(), 0.0);
+    // Leakage = 223.8 mW x elapsed.
+    EXPECT_NEAR(r.accel_leakage_j,
+                0.2238 * static_cast<double>(r.elapsed) * 1e-12, 1e-12);
+}
+
+TEST_F(AccelFixture, DeterministicAcrossRuns)
+{
+    AcceleratorConfig cfg;
+    DramConfig dram = DramConfig::ddr4_2400();
+    auto q = queries(60);
+    ExmaAccelerator a(table(), cfg, dram);
+    ExmaAccelerator b(table(), cfg, dram);
+    EXPECT_EQ(a.run(q).elapsed, b.run(q).elapsed);
+}
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include "apps/aligner.hh"
+#include "apps/annotator.hh"
+#include "apps/assembler.hh"
+#include "apps/compressor.hh"
+#include "apps/smith_waterman.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+namespace {
+
+std::vector<Base>
+appRef()
+{
+    ReferenceSpec spec;
+    spec.length = 200000;
+    spec.repeat_fraction = 0.3;
+    spec.seed = 91;
+    return generateReference(spec);
+}
+
+TEST(SmithWaterman, PerfectMatchScores)
+{
+    auto q = encodeSeq("ACGTACGTAC");
+    SwResult r = smithWaterman(q, q);
+    EXPECT_EQ(r.score, 20); // 10 matches x 2
+    EXPECT_GT(r.cells, 0u);
+}
+
+TEST(SmithWaterman, MismatchLowersScore)
+{
+    auto q = encodeSeq("ACGTACGTAC");
+    auto t = encodeSeq("ACGTTCGTAC");
+    EXPECT_LT(smithWaterman(q, t).score, 20);
+    EXPECT_GE(smithWaterman(q, t).score, 20 - 6);
+}
+
+TEST(SmithWaterman, GapHandling)
+{
+    auto q = encodeSeq("ACGTACGTACGT");
+    auto t = encodeSeq("ACGTACACGT"); // 2-base deletion wrt q... still aligns
+    SwResult r = smithWaterman(q, t);
+    EXPECT_GT(r.score, 10);
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresJunk)
+{
+    auto q = encodeSeq("TTTTTTACGTACGTACGTTTTTTT");
+    auto t = encodeSeq("GGGGGGACGTACGTACGTGGGGGG");
+    SwResult r = smithWaterman(q, t);
+    EXPECT_GE(r.score, 2 * 12); // the common core
+}
+
+TEST(SmithWaterman, EmptyInputs)
+{
+    EXPECT_EQ(smithWaterman({}, encodeSeq("ACGT")).score, 0);
+    EXPECT_EQ(smithWaterman(encodeSeq("ACGT"), {}).cells, 0u);
+}
+
+TEST(Aligner, MapsCleanReadsCorrectly)
+{
+    auto ref = appRef();
+    FmdIndex fmd(ref);
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.max_reads = 60;
+    auto reads = simulateReads(ref, illuminaProfile(), spec);
+    auto res = alignReads(ref, fmd, reads);
+    EXPECT_GT(res.mapped, 50u);
+    // Allow some multi-mapping in repeats; most must be correct.
+    EXPECT_GT(static_cast<double>(res.correct) /
+                  static_cast<double>(res.mapped),
+              0.8);
+    EXPECT_GT(res.counts.fm_symbols, 0u);
+    EXPECT_GT(res.counts.dp_cells, 0u);
+}
+
+TEST(Aligner, NoisyReadsStillMostlyMap)
+{
+    auto ref = appRef();
+    FmdIndex fmd(ref);
+    ReadSimSpec spec;
+    spec.read_len = 400;
+    spec.long_reads = true;
+    spec.max_reads = 25;
+    auto reads = simulateReads(ref, pacbioProfile(), spec);
+    AlignerParams params;
+    params.min_seed_len = 13;
+    auto res = alignReads(ref, fmd, reads, params);
+    EXPECT_GT(res.mapped, 15u);
+}
+
+TEST(Aligner, IlluminaNeedsFewerDpCellsThanOnt)
+{
+    // The Fig. 1 premise: error-free reads seed long SMEMs, so Illumina
+    // spends relatively more of its work in FM-Index search.
+    auto ref = appRef();
+    FmdIndex fmd(ref);
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.max_reads = 40;
+    auto clean = alignReads(ref, fmd,
+                            simulateReads(ref, illuminaProfile(), spec));
+    auto noisy =
+        alignReads(ref, fmd, simulateReads(ref, ontProfile(), spec));
+    const double clean_ratio =
+        static_cast<double>(clean.counts.dp_cells) /
+        static_cast<double>(clean.counts.fm_symbols);
+    const double noisy_ratio =
+        static_cast<double>(noisy.counts.dp_cells) /
+        static_cast<double>(noisy.counts.fm_symbols);
+    EXPECT_LT(clean_ratio, noisy_ratio);
+}
+
+TEST(Assembler, FindsPlantedOverlaps)
+{
+    // Construct reads with exact 40-base overlaps.
+    auto ref = appRef();
+    std::vector<Read> reads;
+    for (u64 pos = 1000; pos + 100 <= 4000; pos += 60) {
+        Read r;
+        r.true_pos = pos;
+        r.seq.assign(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                     ref.begin() + static_cast<std::ptrdiff_t>(pos + 100));
+        reads.push_back(std::move(r));
+    }
+    AssemblerParams params;
+    params.min_overlap = 40;
+    auto res = assembleOverlaps(reads, params);
+    EXPECT_GT(res.overlaps.size(), reads.size() / 2);
+    EXPECT_GT(res.counts.fm_symbols, 0u);
+}
+
+TEST(Assembler, ErrorCorrectionRepairsBases)
+{
+    auto ref = appRef();
+    std::vector<Read> reads;
+    for (u64 pos = 0; pos + 200 <= 20000; pos += 50) {
+        Read r;
+        r.seq.assign(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                     ref.begin() + static_cast<std::ptrdiff_t>(pos + 200));
+        reads.push_back(std::move(r));
+    }
+    // Corrupt one base of one read.
+    reads[5].seq[30] = static_cast<Base>((reads[5].seq[30] + 1) & 3);
+    AssemblerParams params;
+    params.error_correct = true;
+    auto res = assembleOverlaps(reads, params);
+    EXPECT_GE(res.corrected_bases, 1u);
+}
+
+TEST(Annotator, CountsWords)
+{
+    auto ref = appRef();
+    FmIndex fm(ref);
+    // Queries copied from the reference must all match.
+    auto queries = samplePatterns(ref, 10, 200, 3);
+    auto res = annotate(fm, queries, 20);
+    EXPECT_EQ(res.words, 100u);
+    EXPECT_EQ(res.matched_words, 100u);
+    EXPECT_GT(res.counts.fm_symbols, 0u);
+}
+
+TEST(Annotator, RandomWordsRarelyMatch)
+{
+    auto ref = appRef();
+    FmIndex fm(ref);
+    Rng rng(5);
+    std::vector<std::vector<Base>> queries(5);
+    for (auto &q : queries) {
+        q.resize(200);
+        for (auto &b : q)
+            b = static_cast<Base>(rng.below(4));
+    }
+    auto res = annotate(fm, queries, 20);
+    // A random 20-mer hits a 200 Kbp genome with prob ~2e-7.
+    EXPECT_LT(res.matched_words, 3u);
+}
+
+TEST(Compressor, RoundTripsExactly)
+{
+    auto ref = appRef();
+    FmIndex fm(ref);
+    // A target stitched from reference fragments + some noise.
+    std::vector<Base> target(ref.begin() + 500, ref.begin() + 3000);
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        target.push_back(static_cast<Base>(rng.below(4)));
+    std::vector<u8> blob;
+    auto res = compressWithBlob(fm, target, blob);
+    EXPECT_EQ(decompressTokens(ref, blob), target);
+    EXPECT_GT(res.copy_tokens, 0u);
+}
+
+TEST(Compressor, SimilarSequenceCompressesWell)
+{
+    auto ref = appRef();
+    FmIndex fm(ref);
+    // A "resequenced individual": the reference with sparse SNPs.
+    std::vector<Base> target(ref.begin(), ref.begin() + 50000);
+    Rng rng(9);
+    for (int snp = 0; snp < 50; ++snp) {
+        u64 pos = rng.below(target.size());
+        target[pos] = static_cast<Base>((target[pos] + 1) & 3);
+    }
+    auto res = compressAgainstReference(fm, target);
+    EXPECT_LT(res.ratio(), 0.10) << "50 SNPs over 50 kb should compress";
+    EXPECT_GT(res.counts.fm_symbols, 0u);
+}
+
+TEST(Compressor, RandomSequenceDoesNot)
+{
+    auto ref = appRef();
+    FmIndex fm(ref);
+    Rng rng(11);
+    std::vector<Base> target(5000);
+    for (auto &b : target)
+        b = static_cast<Base>(rng.below(4));
+    auto res = compressAgainstReference(fm, target);
+    EXPECT_GT(res.ratio(), 0.8);
+}
+
+TEST(AppModel, BreakdownAndSpeedup)
+{
+    AppCounts counts;
+    counts.fm_symbols = 1000000;
+    counts.dp_cells = 100000;
+    counts.other_ops = 100000;
+    auto b = cpuBreakdown("align", counts);
+    EXPECT_GT(b.fmFraction(), 0.3);
+    // Accelerating FM by 20x caps the speedup by Amdahl.
+    const double sp = exmaAppSpeedup(b, 20.0);
+    EXPECT_GT(sp, 1.5);
+    EXPECT_LT(sp, 20.0);
+}
+
+TEST(AppModel, EnergyDropsWithExma)
+{
+    AppCounts counts;
+    counts.fm_symbols = 2000000;
+    counts.dp_cells = 50000;
+    counts.other_ops = 50000;
+    auto b = cpuBreakdown("annotate", counts);
+    auto cpu_e = cpuAppEnergy(b);
+    auto exma_e = exmaAppEnergy(b, 20.0, 0.9, 72.0);
+    EXPECT_LT(exma_e.total(), cpu_e.total());
+    // Fig. 20: EXMA itself consumes < 3% of total energy.
+    EXPECT_LT((exma_e.exma_dyn_j + exma_e.exma_leak_j) / exma_e.total(),
+              0.2);
+}
+
+} // namespace
+} // namespace exma

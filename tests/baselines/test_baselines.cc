@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_model.hh"
+#include "baselines/device_models.hh"
+
+namespace exma {
+namespace {
+
+const u64 kFootprint = u64{1} << 28; // 256 MB scaled data image
+
+TEST(ChainWorkload, CompletesAllIterations)
+{
+    ChainSpec spec = asicFm1Spec(kFootprint);
+    spec.iterations = 2000;
+    auto r = runChainWorkload(spec, DramConfig::ddr4_2400());
+    EXPECT_EQ(r.symbols, 2000u);
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST(ChainWorkload, MoreWorkersMoreThroughput)
+{
+    ChainSpec a = asicFm1Spec(kFootprint);
+    a.iterations = 4000;
+    ChainSpec b = a;
+    b.workers = a.workers * 8;
+    auto ra = runChainWorkload(a, DramConfig::ddr4_2400());
+    auto rb = runChainWorkload(b, DramConfig::ddr4_2400());
+    EXPECT_GT(rb.mbasesPerSecond(), ra.mbasesPerSecond() * 2);
+}
+
+TEST(ChainWorkload, MedalBeatsAsic)
+{
+    // Chip-level parallelism with hundreds of chips outruns a
+    // whole-rank FM-1 ASIC despite the shared command bus.
+    ChainSpec asic = asicFm1Spec(kFootprint);
+    asic.iterations = 4000;
+    ChainSpec medal = medalSpec(kFootprint);
+    medal.iterations = 20000;
+    auto ra = runChainWorkload(asic, DramConfig::ddr4_2400());
+    auto rm = runChainWorkload(medal, DramConfig::ddr4_2400());
+    EXPECT_GT(rm.mbasesPerSecond(), ra.mbasesPerSecond() * 1.5);
+}
+
+TEST(ChainWorkload, MedalIsCommandBusLimited)
+{
+    // MEDAL's chips could saturate the data lanes, but every access
+    // spends two slots on the shared address bus (Fig. 7), capping
+    // utilisation well below 100% yet far above the ASIC's.
+    ChainSpec medal = medalSpec(kFootprint);
+    medal.iterations = 20000;
+    auto rm = runChainWorkload(medal, DramConfig::ddr4_2400());
+    EXPECT_LT(rm.bw_util, 0.92);
+    EXPECT_GT(rm.bw_util, 0.25);
+
+    ChainSpec asic = asicFm1Spec(kFootprint);
+    asic.iterations = 4000;
+    auto ra = runChainWorkload(asic, DramConfig::ddr4_2400());
+    EXPECT_GT(rm.bw_util, ra.bw_util);
+}
+
+TEST(ChainWorkload, FinderInternalHitsReduceDramTraffic)
+{
+    ChainSpec ext = finderSpec(kFootprint, 0);
+    ext.iterations = 3000;
+    ChainSpec mixed = finderSpec(kFootprint, kFootprint / 2);
+    mixed.iterations = 3000;
+    auto re = runChainWorkload(ext, DramConfig::ddr4_2400());
+    auto rm = runChainWorkload(mixed, DramConfig::ddr4_2400());
+    EXPECT_LT(rm.dram.reads, re.dram.reads);
+}
+
+TEST(ChainWorkload, DeviceOrderingMatchesPaper)
+{
+    // Table II shape on the shared DDR4 substrate: MEDAL > FPGA > ASIC
+    // for search throughput; GPU (row-fetching LISA) above ASIC.
+    const DramConfig mem = DramConfig::ddr4_2400();
+    ChainSpec asic = asicFm1Spec(kFootprint);
+    asic.iterations = 4000;
+    ChainSpec fpga = fpgaFm2Spec(kFootprint);
+    fpga.iterations = 6000;
+    ChainSpec medal = medalSpec(kFootprint);
+    medal.iterations = 20000;
+    ChainSpec gpu = gpuLisaSpec(kFootprint, 21, 4.0);
+    gpu.iterations = 4000;
+    auto ra = runChainWorkload(asic, mem);
+    auto rf = runChainWorkload(fpga, mem);
+    auto rm = runChainWorkload(medal, mem);
+    auto rg = runChainWorkload(gpu, mem);
+    EXPECT_GT(rf.mbasesPerSecond(), ra.mbasesPerSecond());
+    EXPECT_GT(rm.mbasesPerSecond(), rf.mbasesPerSecond());
+    EXPECT_GT(rg.mbasesPerSecond(), ra.mbasesPerSecond());
+}
+
+TEST(ChainWorkload, MemPowerInPlausibleRange)
+{
+    ChainSpec spec = cpuFm1Spec(kFootprint);
+    spec.iterations = 3000;
+    auto r = runChainWorkload(spec, DramConfig::ddr4_2400());
+    EXPECT_GT(r.mem_power_w, 40.0);
+    EXPECT_LT(r.mem_power_w, 120.0);
+}
+
+TEST(CpuModel, AccessLatencyGrowsWithFootprint)
+{
+    EXPECT_LT(cpuAccessNs(3.4), cpuAccessNs(29.0));
+    EXPECT_LT(cpuAccessNs(29.0), cpuAccessNs(374.0));
+    EXPECT_DOUBLE_EQ(cpuAccessNs(2.0), 75.0);
+}
+
+TEST(CpuModel, PaperCalibrationPoints)
+{
+    // LISA-21 ≈ 2.15x over FM-1 (human: 29 GB, ~3K mean error).
+    CpuScheme lisa{"LISA-21", 21, 29.0, 0.6, 3000.0, false, false};
+    const double t = cpuNormalizedThroughput(lisa);
+    EXPECT_GT(t, 1.6);
+    EXPECT_LT(t, 3.2);
+
+    // LISA-21P (perfect index) ≈ 5.1x.
+    CpuScheme p = lisa;
+    p.perfect_index = true;
+    const double tp = cpuNormalizedThroughput(p);
+    EXPECT_GT(tp, 3.5);
+    EXPECT_LT(tp, 7.0);
+
+    // LISA-21PC (perfect index + cache) ≈ 8.53x.
+    CpuScheme pc = p;
+    pc.perfect_cache = true;
+    const double tpc = cpuNormalizedThroughput(pc);
+    EXPECT_GT(tpc, 6.5);
+    EXPECT_LT(tpc, 11.0);
+
+    EXPECT_LT(t, tp);
+    EXPECT_LT(tp, tpc);
+}
+
+TEST(CpuModel, KStepGainsAreModest)
+{
+    // Fig. 6d: FM-5's huge table caps its gain near 1.2x.
+    CpuScheme fm5{"FM-5", 5, 105.0, 0.0, 0.0, false, false};
+    const double t5 = cpuNormalizedThroughput(fm5);
+    EXPECT_GT(t5, 0.8);
+    EXPECT_LT(t5, 2.2);
+
+    CpuScheme fm6{"FM-6", 6, 374.0, 0.0, 0.0, false, false};
+    EXPECT_LT(cpuNormalizedThroughput(fm6) / t5, 1.25);
+}
+
+TEST(CpuModel, ExmaFifteenBeatsLisa)
+{
+    // Fig. 10b: EXMA-15M ≈ 1.75x LISA-21 on the CPU baseline.
+    CpuScheme lisa{"LISA-21", 21, 29.0, 0.6, 3000.0, false, false};
+    CpuScheme exma{"EXMA-15M", 15, 29.5, 0.3, 120.0, false, false};
+    const double ratio = cpuNormalizedThroughput(exma) /
+                         cpuNormalizedThroughput(lisa);
+    EXPECT_GT(ratio, 1.3);
+    EXPECT_LT(ratio, 2.4);
+}
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/rng.hh"
+
+namespace exma {
+namespace {
+
+TEST(BitVector, EmptyRank)
+{
+    BitVector bv(0);
+    bv.buildRank();
+    EXPECT_EQ(bv.rank1(0), 0u);
+    EXPECT_EQ(bv.ones(), 0u);
+}
+
+TEST(BitVector, SingleBit)
+{
+    BitVector bv(100);
+    bv.set(42);
+    bv.buildRank();
+    EXPECT_EQ(bv.rank1(42), 0u);
+    EXPECT_EQ(bv.rank1(43), 1u);
+    EXPECT_EQ(bv.rank1(100), 1u);
+    EXPECT_TRUE(bv.get(42));
+    EXPECT_FALSE(bv.get(41));
+}
+
+TEST(BitVector, AllOnes)
+{
+    const u64 n = 1000;
+    BitVector bv(n);
+    for (u64 i = 0; i < n; ++i)
+        bv.set(i);
+    bv.buildRank();
+    for (u64 i = 0; i <= n; i += 37)
+        EXPECT_EQ(bv.rank1(i), i);
+}
+
+TEST(BitVector, RankMatchesNaiveOnRandomBits)
+{
+    const u64 n = 10000;
+    Rng rng(7);
+    BitVector bv(n);
+    std::vector<bool> ref(n, false);
+    for (int i = 0; i < 3000; ++i) {
+        u64 pos = rng.below(n);
+        if (!ref[pos]) {
+            ref[pos] = true;
+            bv.set(pos);
+        }
+    }
+    bv.buildRank();
+    u64 acc = 0;
+    for (u64 i = 0; i < n; ++i) {
+        EXPECT_EQ(bv.rank1(i), acc) << "at " << i;
+        if (ref[i])
+            ++acc;
+    }
+    EXPECT_EQ(bv.ones(), acc);
+}
+
+TEST(BitVector, RankAtBlockBoundaries)
+{
+    // Exercise the 512-bit superblock boundaries explicitly.
+    const u64 n = 4096;
+    BitVector bv(n);
+    for (u64 i = 0; i < n; i += 2)
+        bv.set(i);
+    bv.buildRank();
+    for (u64 i : {u64{511}, u64{512}, u64{513}, u64{1024}, u64{4095}})
+        EXPECT_EQ(bv.rank1(i), (i + 1) / 2);
+}
+
+TEST(BitVector, SizeBytesIsPlausible)
+{
+    BitVector bv(1 << 20);
+    bv.buildRank();
+    // 1 Mib of bits = 128 KiB words plus ~2% overhead.
+    EXPECT_GE(bv.sizeBytes(), u64{128 * 1024});
+    EXPECT_LE(bv.sizeBytes(), u64{160 * 1024});
+}
+
+} // namespace
+} // namespace exma

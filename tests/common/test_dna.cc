@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/dna.hh"
+
+namespace exma {
+namespace {
+
+TEST(Dna, CharRoundTrip)
+{
+    for (Base b = 0; b < 4; ++b)
+        EXPECT_EQ(charToBase(baseToChar(b)), b);
+}
+
+TEST(Dna, CharToBaseAcceptsLowercase)
+{
+    EXPECT_EQ(charToBase('a'), 0);
+    EXPECT_EQ(charToBase('c'), 1);
+    EXPECT_EQ(charToBase('g'), 2);
+    EXPECT_EQ(charToBase('t'), 3);
+}
+
+TEST(Dna, UnknownCharMapsToA)
+{
+    EXPECT_EQ(charToBase('N'), 0);
+    EXPECT_EQ(charToBase('x'), 0);
+}
+
+TEST(Dna, EncodeDecodeRoundTrip)
+{
+    const std::string s = "ACGTACGTTTGGCCAA";
+    EXPECT_EQ(decodeSeq(encodeSeq(s)), s);
+}
+
+TEST(Dna, ComplementIsInvolution)
+{
+    for (Base b = 0; b < 4; ++b)
+        EXPECT_EQ(complementBase(complementBase(b)), b);
+}
+
+TEST(Dna, ComplementPairsAreWatsonCrick)
+{
+    EXPECT_EQ(complementBase(charToBase('A')), charToBase('T'));
+    EXPECT_EQ(complementBase(charToBase('C')), charToBase('G'));
+}
+
+TEST(Dna, ReverseComplement)
+{
+    auto seq = encodeSeq("ACGGT");
+    EXPECT_EQ(decodeSeq(reverseComplement(seq)), "ACCGT");
+}
+
+TEST(Dna, ReverseComplementIsInvolution)
+{
+    auto seq = encodeSeq("ACGGTTTACG");
+    EXPECT_EQ(reverseComplement(reverseComplement(seq)), seq);
+}
+
+TEST(Dna, PackKmerLexicographicOrder)
+{
+    // Integer order of packed k-mers must equal lexicographic order.
+    auto aa = encodeSeq("AA");
+    auto ac = encodeSeq("AC");
+    auto ca = encodeSeq("CA");
+    auto tt = encodeSeq("TT");
+    EXPECT_LT(packKmer(aa.data(), 2), packKmer(ac.data(), 2));
+    EXPECT_LT(packKmer(ac.data(), 2), packKmer(ca.data(), 2));
+    EXPECT_LT(packKmer(ca.data(), 2), packKmer(tt.data(), 2));
+}
+
+TEST(Dna, PackUnpackRoundTrip)
+{
+    auto seq = encodeSeq("GATTACAGATTACAGATTACAGATTACAGAT"); // 31 bases
+    Kmer m = packKmer(seq.data(), 31);
+    Base out[31];
+    unpackKmer(m, 31, out);
+    for (int i = 0; i < 31; ++i)
+        EXPECT_EQ(out[i], seq[static_cast<size_t>(i)]) << "base " << i;
+}
+
+TEST(Dna, KmerToString)
+{
+    auto seq = encodeSeq("TGCA");
+    EXPECT_EQ(kmerToString(packKmer(seq.data(), 4), 4), "TGCA");
+}
+
+TEST(Dna, KmerSpace)
+{
+    EXPECT_EQ(kmerSpace(0), 1u);
+    EXPECT_EQ(kmerSpace(2), 16u);
+    EXPECT_EQ(kmerSpace(15), u64{1} << 30);
+}
+
+} // namespace
+} // namespace exma

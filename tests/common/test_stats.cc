@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace exma {
+namespace {
+
+TEST(Stats, ScalarAccumulates)
+{
+    StatGroup g("g");
+    auto &s = g.scalar("x", "a stat");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(g.value("x"), 3.5);
+}
+
+TEST(Stats, ScalarIsSharedByName)
+{
+    StatGroup g("g");
+    g.scalar("x") += 1.0;
+    g.scalar("x") += 1.0;
+    EXPECT_DOUBLE_EQ(g.value("x"), 2.0);
+}
+
+TEST(Stats, MissingScalarReadsZero)
+{
+    StatGroup g("g");
+    EXPECT_DOUBLE_EQ(g.value("nope"), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    StatGroup g("g");
+    auto &d = g.distribution("lat");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.variance(), 1.25, 1e-9);
+}
+
+TEST(Stats, ResetClearsEverything)
+{
+    StatGroup g("g");
+    g.scalar("x") += 5.0;
+    g.distribution("d").sample(1.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value("x"), 0.0);
+    EXPECT_EQ(g.distribution("d").count(), 0u);
+}
+
+TEST(Stats, DumpContainsNames)
+{
+    StatGroup g("dram");
+    g.scalar("reads", "read count") += 7;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("dram.reads"), std::string::npos);
+    EXPECT_NE(os.str().find("read count"), std::string::npos);
+}
+
+TEST(Stats, SummarizePercentiles)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 100; ++i)
+        v.push_back(i);
+    auto s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 100.0);
+    EXPECT_NEAR(s.p50, 50.5, 1e-9);
+    EXPECT_NEAR(s.p25, 25.75, 1e-9);
+    EXPECT_NEAR(s.p75, 75.25, 1e-9);
+    EXPECT_DOUBLE_EQ(s.mean, 50.5);
+    EXPECT_EQ(s.count, 100u);
+}
+
+TEST(Stats, SummarizeEmpty)
+{
+    auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumAndBytesFormat)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::bytes(1536.0), "1.54KB");
+    EXPECT_EQ(TextTable::bytes(2.5e9), "2.50GB");
+}
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+#include "fmindex/fmd_index.hh"
+
+namespace exma {
+namespace {
+
+std::vector<Base>
+randomSeq(u64 len, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Base> s(len);
+    for (auto &b : s)
+        b = static_cast<Base>(rng.below(4));
+    return s;
+}
+
+/** Occurrences of q on both strands of ref. */
+u64
+naiveBothStrands(const std::vector<Base> &ref, const std::vector<Base> &q)
+{
+    if (q.empty() || q.size() > ref.size())
+        return 0;
+    u64 hits = 0;
+    auto rc = reverseComplement(q);
+    for (u64 i = 0; i + q.size() <= ref.size(); ++i) {
+        hits += std::equal(q.begin(), q.end(),
+                           ref.begin() + static_cast<std::ptrdiff_t>(i));
+        hits += std::equal(rc.begin(), rc.end(),
+                           ref.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    return hits;
+}
+
+TEST(FmdIndex, CountMatchesNaiveBothStrands)
+{
+    auto ref = randomSeq(1200, 3);
+    FmdIndex fmd(ref);
+    Rng rng(4);
+    for (int t = 0; t < 150; ++t) {
+        const u64 len = 1 + rng.below(10);
+        std::vector<Base> q(len);
+        for (auto &b : q)
+            b = static_cast<Base>(rng.below(4));
+        EXPECT_EQ(fmd.countOccurrences(q), naiveBothStrands(ref, q))
+            << "t=" << t;
+    }
+}
+
+TEST(FmdIndex, IntervalSizeIsStrandSymmetric)
+{
+    auto ref = randomSeq(900, 5);
+    FmdIndex fmd(ref);
+    Rng rng(6);
+    for (int t = 0; t < 60; ++t) {
+        const u64 len = 2 + rng.below(8);
+        std::vector<Base> q(len);
+        for (auto &b : q)
+            b = static_cast<Base>(rng.below(4));
+        EXPECT_EQ(fmd.countOccurrences(q),
+                  fmd.countOccurrences(reverseComplement(q)));
+    }
+}
+
+TEST(FmdIndex, ForwardExtEqualsBackwardSearchOfExtendedString)
+{
+    auto ref = randomSeq(700, 7);
+    FmdIndex fmd(ref);
+    Rng rng(8);
+    for (int t = 0; t < 80; ++t) {
+        const u64 len = 1 + rng.below(6);
+        std::vector<Base> w(len);
+        for (auto &b : w)
+            b = static_cast<Base>(rng.below(4));
+        // Build the bi-interval of w by forward extension only.
+        BiInterval bi = fmd.initInterval(w[0]);
+        for (size_t i = 1; i < w.size() && !bi.empty(); ++i)
+            bi = fmd.forwardExt(bi, w[i]);
+        EXPECT_EQ(bi.s, fmd.countOccurrences(w)) << "t=" << t;
+    }
+}
+
+TEST(FmdIndex, MixedDirectionExtensionsConsistent)
+{
+    auto ref = randomSeq(800, 9);
+    FmdIndex fmd(ref);
+    // Build GATTA two ways: backward from A, and out from the middle T.
+    auto w = encodeSeq("GATTA");
+    BiInterval a = fmd.initInterval(w[4]);
+    for (int i = 3; i >= 0; --i)
+        a = fmd.backwardExt(a, w[static_cast<size_t>(i)]);
+    BiInterval b = fmd.initInterval(w[2]);
+    b = fmd.forwardExt(b, w[3]);
+    b = fmd.forwardExt(b, w[4]);
+    b = fmd.backwardExt(b, w[1]);
+    b = fmd.backwardExt(b, w[0]);
+    EXPECT_EQ(a.s, b.s);
+    EXPECT_EQ(a.x, b.x);
+    EXPECT_EQ(a.rx, b.rx);
+}
+
+TEST(FmdIndex, SmemsAreExactMatches)
+{
+    auto ref = randomSeq(3000, 11);
+    FmdIndex fmd(ref);
+    auto read = randomSeq(150, 12);
+    auto smems = fmd.collectSmems(read, 8);
+    for (const auto &m : smems) {
+        std::vector<Base> sub(read.begin() + m.qb, read.begin() + m.qe);
+        EXPECT_EQ(fmd.countOccurrences(sub), m.hits());
+        EXPECT_GT(m.hits(), 0u);
+    }
+}
+
+TEST(FmdIndex, SmemsAreMaximal)
+{
+    auto ref = randomSeq(3000, 13);
+    FmdIndex fmd(ref);
+    auto read = randomSeq(120, 14);
+    auto smems = fmd.collectSmems(read, 5);
+    const int len = static_cast<int>(read.size());
+    for (const auto &m : smems) {
+        if (m.qb > 0) {
+            std::vector<Base> left(read.begin() + m.qb - 1,
+                                   read.begin() + m.qe);
+            EXPECT_EQ(fmd.countOccurrences(left), 0u)
+                << "left-extensible at " << m.qb;
+        }
+        if (m.qe < len) {
+            std::vector<Base> right(read.begin() + m.qb,
+                                    read.begin() + m.qe + 1);
+            EXPECT_EQ(fmd.countOccurrences(right), 0u)
+                << "right-extensible at " << m.qb;
+        }
+    }
+}
+
+TEST(FmdIndex, SmemsHaveNoNesting)
+{
+    auto ref = randomSeq(2500, 15);
+    FmdIndex fmd(ref);
+    auto read = randomSeq(200, 16);
+    auto smems = fmd.collectSmems(read, 4);
+    for (size_t i = 0; i + 1 < smems.size(); ++i) {
+        EXPECT_LT(smems[i].qb, smems[i + 1].qb);
+        EXPECT_LT(smems[i].qe, smems[i + 1].qe);
+    }
+}
+
+TEST(FmdIndex, PlantedReadYieldsFullLengthSmem)
+{
+    auto ref = randomSeq(5000, 17);
+    // A read copied verbatim from the reference must produce one SMEM
+    // covering the entire read.
+    std::vector<Base> read(ref.begin() + 1000, ref.begin() + 1100);
+    FmdIndex fmd(ref);
+    auto smems = fmd.collectSmems(read, 20);
+    ASSERT_EQ(smems.size(), 1u);
+    EXPECT_EQ(smems[0].qb, 0);
+    EXPECT_EQ(smems[0].qe, 100);
+}
+
+TEST(FmdIndex, LocateFindsPlantedPosition)
+{
+    auto ref = randomSeq(4000, 19);
+    std::vector<Base> read(ref.begin() + 2345, ref.begin() + 2400);
+    FmdIndex fmd(ref);
+    auto smems = fmd.collectSmems(read, 20);
+    ASSERT_FALSE(smems.empty());
+    auto hits = fmd.locate(smems[0], 10);
+    bool found = false;
+    for (const auto &h : hits)
+        found |= (!h.is_rc && h.pos == 2345 + static_cast<u64>(smems[0].qb));
+    EXPECT_TRUE(found);
+}
+
+TEST(FmdIndex, LocateFindsReverseComplementHit)
+{
+    auto ref = randomSeq(4000, 23);
+    // Take a reverse-complement read: its SMEM hits map to rc strand.
+    std::vector<Base> fwd(ref.begin() + 500, ref.begin() + 560);
+    auto read = reverseComplement(fwd);
+    FmdIndex fmd(ref);
+    auto smems = fmd.collectSmems(read, 20);
+    ASSERT_FALSE(smems.empty());
+    auto hits = fmd.locate(smems[0], 10);
+    bool found = false;
+    for (const auto &h : hits)
+        found |= (h.is_rc && h.pos >= 500 && h.pos < 560);
+    EXPECT_TRUE(found);
+}
+
+TEST(FmdIndex, LocateVerifiesAgainstNaiveScan)
+{
+    auto ref = randomSeq(1000, 29);
+    FmdIndex fmd(ref);
+    auto read = randomSeq(60, 30);
+    auto smems = fmd.collectSmems(read, 4);
+    for (const auto &m : smems) {
+        std::vector<Base> sub(read.begin() + m.qb, read.begin() + m.qe);
+        auto rc = reverseComplement(sub);
+        auto hits = fmd.locate(m, 1000);
+        EXPECT_EQ(hits.size(), m.hits());
+        for (const auto &h : hits) {
+            const auto &pat = h.is_rc ? rc : sub;
+            ASSERT_LE(h.pos + pat.size(), ref.size());
+            EXPECT_TRUE(std::equal(pat.begin(), pat.end(),
+                                   ref.begin() +
+                                       static_cast<std::ptrdiff_t>(h.pos)))
+                << "pos=" << h.pos << " rc=" << h.is_rc;
+        }
+    }
+}
+
+TEST(FmdIndex, MinIntvFiltersRareMatches)
+{
+    auto ref = randomSeq(2000, 31);
+    FmdIndex fmd(ref);
+    auto read = randomSeq(80, 32);
+    auto strict = fmd.collectSmems(read, 4, 4);
+    for (const auto &m : strict)
+        EXPECT_GE(m.hits(), 4u);
+}
+
+} // namespace
+} // namespace exma

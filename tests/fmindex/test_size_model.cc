@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "fmindex/size_model.hh"
+
+namespace exma {
+namespace {
+
+constexpr u64 kHuman = 3000000000ULL;
+constexpr u64 kPinus = 31000000000ULL;
+constexpr double kGB = 1e9;
+
+TEST(SizeModel, AddressBits)
+{
+    EXPECT_EQ(addressBits(2), 1u);
+    EXPECT_EQ(addressBits(1024), 10u);
+    EXPECT_EQ(addressBits(1025), 11u);
+    EXPECT_EQ(addressBits(kHuman), 32u);
+}
+
+TEST(SizeModel, Fm5MatchesPaperQuote)
+{
+    // §III.A: "5-step FM-Index costs 105GB".
+    const double gb = fmkSizeBytes(kHuman, 5) / kGB;
+    EXPECT_GT(gb, 85.0);
+    EXPECT_LT(gb, 120.0);
+}
+
+TEST(SizeModel, Fm6MatchesPaperQuote)
+{
+    // §III.A: "6-step FM-Index occupies 374GB".
+    const double gb = fmkSizeBytes(kHuman, 6) / kGB;
+    EXPECT_GT(gb, 330.0);
+    EXPECT_LT(gb, 420.0);
+}
+
+TEST(SizeModel, FmSizeGrowsExponentially)
+{
+    const double r1 = fmkSizeBytes(kHuman, 4) / fmkSizeBytes(kHuman, 3);
+    const double r2 = fmkSizeBytes(kHuman, 8) / fmkSizeBytes(kHuman, 7);
+    EXPECT_GT(r1, 3.0);
+    EXPECT_GT(r2, 3.5); // approaches 4x as the Occ term dominates
+}
+
+TEST(SizeModel, LisaGrowsLinearlyInK)
+{
+    const double s11 = lisaSizeBytes(kHuman, 11).total();
+    const double s21 = lisaSizeBytes(kHuman, 21).total();
+    const double s32 = lisaSizeBytes(kHuman, 32).total();
+    // Increments of ~+10 steps add the same ~2.5 GB (2 bits/step/base).
+    EXPECT_NEAR(s21 - s11, 2.0 * 10 * kHuman / 8, 1e9);
+    EXPECT_GT(s32, s21);
+}
+
+TEST(SizeModel, LisaIndexIsAboutOnePointFiveGB)
+{
+    // §III.A: "The LISA learned index consumes ~1.5GB" (human).
+    EXPECT_NEAR(lisaSizeBytes(kHuman, 21).index / kGB, 1.5, 0.2);
+}
+
+TEST(SizeModel, Exma15MatchesPaperQuote)
+{
+    // Fig. 10a: 15-step EXMA table costs 29.5GB on human.
+    const double gb = exmaSizeBytes(kHuman, 15).total() / kGB;
+    EXPECT_GT(gb, 26.0);
+    EXPECT_LT(gb, 33.0);
+}
+
+TEST(SizeModel, Exma16AddsTwelveGB)
+{
+    // Fig. 10a: "Increasing k from 15 to 16 increases 12GB".
+    const double delta = (exmaSizeBytes(kHuman, 16).total() -
+                          exmaSizeBytes(kHuman, 15).total()) / kGB;
+    EXPECT_NEAR(delta, 12.0, 2.0);
+}
+
+TEST(SizeModel, ExmaIncrementsMatchPaperTwelveGB)
+{
+    // §IV.A: "For a 3G-base human genome, the increments occupy 12GB".
+    EXPECT_NEAR(exmaSizeBytes(kHuman, 15).increments / kGB, 12.0, 0.5);
+}
+
+TEST(SizeModel, LisaIsRoughlyTwiceExmaOnPinus)
+{
+    // Fig. 23: the LISA-21 footprint is ~2.2x EXMA-15 on pinus. The
+    // figure compares the search data structures; the locate SA is
+    // common to both pipelines and excluded there.
+    const auto e = exmaSizeBytes(kPinus, 15);
+    const double lisa = lisaSizeBytes(kPinus, 21).total();
+    const double exma = e.total() - e.sa;
+    EXPECT_GT(lisa / exma, 1.5);
+    EXPECT_LT(lisa / exma, 2.7);
+}
+
+TEST(SizeModel, ExmaIndexIsHalfOfLisaIndex)
+{
+    // §IV.B: MTL index uses half the parameters of the LISA index.
+    EXPECT_NEAR(exmaSizeBytes(kHuman, 15).index * 2.0,
+                lisaSizeBytes(kHuman, 21).index, 1.0);
+}
+
+} // namespace
+} // namespace exma

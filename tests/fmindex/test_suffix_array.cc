@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/dna.hh"
+#include "common/rng.hh"
+#include "fmindex/suffix_array.hh"
+
+namespace exma {
+namespace {
+
+std::vector<Base>
+randomSeq(u64 len, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<Base> s(len);
+    for (auto &b : s)
+        b = static_cast<Base>(rng.below(4));
+    return s;
+}
+
+TEST(SuffixArray, KnownExampleFromPaper)
+{
+    // Fig. 3(a): G = CATAGA, SA column = [6,5,3,1,0,4,2].
+    auto ref = encodeSeq("CATAGA");
+    auto sa = buildSuffixArray(ref);
+    const std::vector<SaIndex> expect = {6, 5, 3, 1, 0, 4, 2};
+    EXPECT_EQ(sa, expect);
+}
+
+TEST(SuffixArray, SingleBase)
+{
+    auto sa = buildSuffixArray(encodeSeq("A"));
+    EXPECT_EQ(sa, (std::vector<SaIndex>{1, 0}));
+}
+
+TEST(SuffixArray, AllSameSymbol)
+{
+    auto ref = encodeSeq("AAAAAAAA");
+    auto sa = buildSuffixArray(ref);
+    // Suffixes sort by decreasing length... shortest (sentinel) first.
+    for (size_t i = 0; i < sa.size(); ++i)
+        EXPECT_EQ(sa[i], ref.size() - i);
+}
+
+TEST(SuffixArray, PeriodicString)
+{
+    auto ref = encodeSeq("ACACACACAC");
+    EXPECT_EQ(buildSuffixArray(ref), buildSuffixArrayNaive(ref));
+}
+
+TEST(SuffixArray, MatchesNaiveOnManyRandomStrings)
+{
+    for (u64 seed = 0; seed < 30; ++seed) {
+        const u64 len = 1 + seed * 13 % 257;
+        auto ref = randomSeq(len, seed + 1000);
+        EXPECT_EQ(buildSuffixArray(ref), buildSuffixArrayNaive(ref))
+            << "seed=" << seed << " len=" << len;
+    }
+}
+
+TEST(SuffixArray, IsPermutation)
+{
+    auto ref = randomSeq(100000, 7);
+    auto sa = buildSuffixArray(ref);
+    ASSERT_EQ(sa.size(), ref.size() + 1);
+    std::vector<SaIndex> sorted(sa);
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size(); ++i)
+        ASSERT_EQ(sorted[i], i);
+}
+
+TEST(SuffixArray, SuffixesAreSorted)
+{
+    auto ref = randomSeq(20000, 11);
+    auto sa = buildSuffixArray(ref);
+    // Spot-check adjacent pairs (full check is O(n^2)).
+    auto suffix_leq = [&](SaIndex a, SaIndex b) {
+        const u64 n = ref.size();
+        while (a < n && b < n) {
+            if (ref[a] != ref[b])
+                return ref[a] < ref[b];
+            ++a;
+            ++b;
+        }
+        return a >= n;
+    };
+    for (size_t i = 0; i + 1 < sa.size(); i += 97)
+        ASSERT_TRUE(suffix_leq(sa[i], sa[i + 1])) << "at " << i;
+}
+
+TEST(SuffixArray, SentinelFirst)
+{
+    auto ref = randomSeq(5000, 13);
+    auto sa = buildSuffixArray(ref);
+    EXPECT_EQ(sa[0], ref.size());
+}
+
+TEST(SuffixArray, GenericAlphabetSixSymbols)
+{
+    // Exercise the generic path used by the FMD index.
+    Rng rng(17);
+    std::vector<u8> text(3000);
+    for (auto &c : text)
+        c = static_cast<u8>(rng.below(6));
+    auto sa = buildSuffixArrayGeneric(text, 6);
+    ASSERT_EQ(sa.size(), text.size() + 1);
+    auto suffix_leq = [&](SaIndex a, SaIndex b) {
+        const u64 n = text.size();
+        while (a < n && b < n) {
+            if (text[a] != text[b])
+                return text[a] < text[b];
+            ++a;
+            ++b;
+        }
+        return a >= n;
+    };
+    for (size_t i = 0; i + 1 < sa.size(); ++i)
+        ASSERT_TRUE(suffix_leq(sa[i], sa[i + 1]));
+}
+
+class SuffixArrayLengthTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(SuffixArrayLengthTest, MatchesNaive)
+{
+    auto ref = randomSeq(GetParam(), GetParam() * 31 + 5);
+    EXPECT_EQ(buildSuffixArray(ref), buildSuffixArrayNaive(ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SuffixArrayLengthTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 15, 16, 17, 31,
+                                           64, 100, 255, 256, 999, 2048));
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "genome/reads.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+namespace {
+
+std::vector<Base>
+testRef()
+{
+    ReferenceSpec spec;
+    spec.length = 100000;
+    spec.seed = 9;
+    return generateReference(spec);
+}
+
+TEST(Reads, PaperErrorProfiles)
+{
+    // The paper's (name, mismatch%, ins%, del%, total%) table.
+    EXPECT_NEAR(illuminaProfile().total(), 0.002, 1e-9);
+    EXPECT_NEAR(pacbioProfile().total(), 0.1501, 1e-9);
+    EXPECT_NEAR(ontProfile().total(), 0.30, 1e-9);
+    EXPECT_EQ(allProfiles().size(), 3u);
+}
+
+TEST(Reads, CoverageDeterminesReadCount)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.coverage = 5.0;
+    auto reads = simulateReads(ref, illuminaProfile(), spec);
+    const double bases = 101.0 * static_cast<double>(reads.size());
+    EXPECT_NEAR(bases / static_cast<double>(ref.size()), 5.0, 0.1);
+}
+
+TEST(Reads, ShortReadsHaveNearExactLength)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.max_reads = 200;
+    auto reads = simulateReads(ref, illuminaProfile(), spec);
+    for (const auto &r : reads) {
+        // Illumina indel rate is 0.01%+0.01%; lengths barely wander.
+        EXPECT_NEAR(static_cast<double>(r.seq.size()), 101.0, 3.0);
+    }
+}
+
+TEST(Reads, IlluminaReadsMostlyMatchReference)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.max_reads = 100;
+    auto reads = simulateReads(ref, illuminaProfile(), spec);
+    u64 matching = 0, total = 0;
+    for (const auto &r : reads) {
+        std::vector<Base> tmpl(
+            ref.begin() + static_cast<std::ptrdiff_t>(r.true_pos),
+            ref.begin() + static_cast<std::ptrdiff_t>(
+                              std::min<u64>(r.true_pos + r.seq.size(),
+                                            ref.size())));
+        if (r.reverse)
+            tmpl = reverseComplement(tmpl);
+        const size_t n = std::min(tmpl.size(), r.seq.size());
+        for (size_t i = 0; i < n; ++i)
+            matching += (tmpl[i] == r.seq[i]);
+        total += n;
+    }
+    // With 0.2% error nearly every base matches. The bar is 0.97 rather
+    // than 0.998 because this positional comparison misaligns the whole
+    // read tail after any indel.
+    EXPECT_GT(static_cast<double>(matching) / static_cast<double>(total),
+              0.97);
+}
+
+TEST(Reads, OntReadsAreNoisier)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.read_len = 101;
+    spec.max_reads = 100;
+    spec.seed = 3;
+    auto clean = simulateReads(ref, illuminaProfile(), spec);
+    auto noisy = simulateReads(ref, ontProfile(), spec);
+    auto identity = [&](const std::vector<Read> &reads) {
+        u64 matching = 0, total = 0;
+        for (const auto &r : reads) {
+            std::vector<Base> tmpl(
+                ref.begin() + static_cast<std::ptrdiff_t>(r.true_pos),
+                ref.begin() + static_cast<std::ptrdiff_t>(std::min<u64>(
+                                  r.true_pos + r.seq.size(), ref.size())));
+            if (r.reverse)
+                tmpl = reverseComplement(tmpl);
+            const size_t n = std::min(tmpl.size(), r.seq.size());
+            for (size_t i = 0; i < n; ++i)
+                matching += (tmpl[i] == r.seq[i]);
+            total += n;
+        }
+        return static_cast<double>(matching) / static_cast<double>(total);
+    };
+    EXPECT_GT(identity(clean), identity(noisy) + 0.05);
+}
+
+TEST(Reads, LongReadsFollowLognormalSpread)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.read_len = 1000;
+    spec.long_reads = true;
+    spec.max_reads = 300;
+    auto reads = simulateReads(ref, pacbioProfile(), spec);
+    double sum = 0.0;
+    u64 lo = ~u64{0}, hi = 0;
+    for (const auto &r : reads) {
+        sum += static_cast<double>(r.seq.size());
+        lo = std::min<u64>(lo, r.seq.size());
+        hi = std::max<u64>(hi, r.seq.size());
+    }
+    const double mean = sum / static_cast<double>(reads.size());
+    EXPECT_GT(mean, 600.0);
+    EXPECT_LT(mean, 1800.0);
+    EXPECT_LT(lo, 700u);  // spread below the mean
+    EXPECT_GT(hi, 1400u); // and above
+}
+
+TEST(Reads, BothStrandsSampled)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.max_reads = 200;
+    auto reads = simulateReads(ref, illuminaProfile(), spec);
+    u64 rc = 0;
+    for (const auto &r : reads)
+        rc += r.reverse;
+    EXPECT_GT(rc, 50u);
+    EXPECT_LT(rc, 150u);
+}
+
+TEST(Reads, Deterministic)
+{
+    auto ref = testRef();
+    ReadSimSpec spec;
+    spec.max_reads = 50;
+    auto a = simulateReads(ref, pacbioProfile(), spec);
+    auto b = simulateReads(ref, pacbioProfile(), spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].true_pos, b[i].true_pos);
+    }
+}
+
+TEST(Reads, SamplePatternsAreSubstrings)
+{
+    auto ref = testRef();
+    auto pats = samplePatterns(ref, 50, 32, 7);
+    ASSERT_EQ(pats.size(), 50u);
+    for (const auto &p : pats) {
+        ASSERT_EQ(p.size(), 32u);
+        auto it = std::search(ref.begin(), ref.end(), p.begin(), p.end());
+        EXPECT_NE(it, ref.end());
+    }
+}
+
+} // namespace
+} // namespace exma

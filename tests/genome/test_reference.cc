@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genome/fasta.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+namespace {
+
+TEST(Reference, GeneratesRequestedLength)
+{
+    ReferenceSpec spec;
+    spec.length = 10000;
+    auto ref = generateReference(spec);
+    EXPECT_EQ(ref.size(), 10000u);
+}
+
+TEST(Reference, Deterministic)
+{
+    ReferenceSpec spec;
+    spec.length = 5000;
+    spec.seed = 77;
+    EXPECT_EQ(generateReference(spec), generateReference(spec));
+}
+
+TEST(Reference, DifferentSeedsDiffer)
+{
+    ReferenceSpec a, b;
+    a.length = b.length = 5000;
+    a.seed = 1;
+    b.seed = 2;
+    EXPECT_NE(generateReference(a), generateReference(b));
+}
+
+TEST(Reference, GcContentIsRespected)
+{
+    ReferenceSpec spec;
+    spec.length = 200000;
+    spec.repeat_fraction = 0.0; // pure backbone for a clean measurement
+    spec.gc_content = 0.41;
+    auto ref = generateReference(spec);
+    u64 gc = 0;
+    for (Base b : ref)
+        gc += (b == charToBase('G') || b == charToBase('C'));
+    EXPECT_NEAR(static_cast<double>(gc) / static_cast<double>(ref.size()),
+                0.41, 0.02);
+}
+
+TEST(Reference, RepeatsIncreaseKmerRepetition)
+{
+    // Count distinct 16-mers: a repetitive genome has fewer.
+    auto count_distinct = [](const std::vector<Base> &ref) {
+        std::vector<u64> kmers;
+        for (size_t i = 0; i + 16 <= ref.size(); i += 4)
+            kmers.push_back(packKmer(ref.data() + i, 16));
+        std::sort(kmers.begin(), kmers.end());
+        kmers.erase(std::unique(kmers.begin(), kmers.end()), kmers.end());
+        return kmers.size();
+    };
+    ReferenceSpec low, high;
+    low.length = high.length = 300000;
+    low.repeat_fraction = 0.05;
+    high.repeat_fraction = 0.8;
+    low.seed = high.seed = 5;
+    EXPECT_GT(count_distinct(generateReference(low)),
+              count_distinct(generateReference(high)));
+}
+
+TEST(Reference, AllBasesValid)
+{
+    ReferenceSpec spec;
+    spec.length = 50000;
+    for (Base b : generateReference(spec))
+        ASSERT_LT(b, 4);
+}
+
+TEST(Dataset, ThreePaperDatasets)
+{
+    EXPECT_EQ(datasetNames().size(), 3u);
+    auto ds = makeDataset("human", 0.01);
+    EXPECT_EQ(ds.name, "human");
+    EXPECT_GT(ds.ref.size(), 0u);
+    EXPECT_EQ(ds.paper_length, 3000000000ULL);
+}
+
+TEST(Dataset, ScaledStepPreservesOperatingPoint)
+{
+    // At full scale k stays the paper's k.
+    EXPECT_EQ(scaledStep(3000000000ULL, 3000000000ULL, 15), 15);
+    // An 8 Mbp human (shrink 2^8.5) loses ~4 steps.
+    const int k = scaledStep(8u << 20, 3000000000ULL, 15);
+    EXPECT_GE(k, 10);
+    EXPECT_LE(k, 12);
+}
+
+TEST(Dataset, SizesOrderedLikePaper)
+{
+    auto human = makeDataset("human", 0.01);
+    auto picea = makeDataset("picea", 0.01);
+    auto pinus = makeDataset("pinus", 0.01);
+    EXPECT_LT(human.ref.size(), picea.ref.size());
+    EXPECT_LT(picea.ref.size(), pinus.ref.size());
+}
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<FastaRecord> recs;
+    recs.push_back({"chr1", encodeSeq("ACGTACGTAAA")});
+    recs.push_back({"chr2 extra-desc", encodeSeq("GGGTTT")});
+    std::ostringstream os;
+    writeFasta(os, recs, 4);
+    std::istringstream is(os.str());
+    auto back = readFasta(is);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "chr1");
+    EXPECT_EQ(back[0].seq, recs[0].seq);
+    EXPECT_EQ(back[1].seq, recs[1].seq);
+}
+
+TEST(Fasta, NameParsingStopsAtWhitespace)
+{
+    std::istringstream is(">read_1 length=5\nACGTA\n");
+    auto recs = readFasta(is);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].name, "read_1");
+    EXPECT_EQ(recs[0].seq.size(), 5u);
+}
+
+TEST(Fasta, EmptyInput)
+{
+    std::istringstream is("");
+    EXPECT_TRUE(readFasta(is).empty());
+}
+
+} // namespace
+} // namespace exma

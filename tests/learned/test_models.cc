@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "learned/linear_model.hh"
+#include "learned/mlp.hh"
+#include "learned/rmi.hh"
+
+namespace exma {
+namespace {
+
+TEST(LinearModel, FitsExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 * i + 7.0);
+    }
+    auto m = LinearModel::fitXY(xs, ys);
+    EXPECT_NEAR(m.w, 3.0, 1e-9);
+    EXPECT_NEAR(m.b, 7.0, 1e-9);
+}
+
+TEST(LinearModel, FitRanksRecoversCdfSlope)
+{
+    // Keys 0, 2, 4, ... have rank i = key/2.
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(2.0 * i);
+    auto m = LinearModel::fitRanks(xs, 0.0);
+    EXPECT_NEAR(m.w, 0.5, 1e-9);
+    EXPECT_NEAR(m.b, 0.0, 1e-9);
+}
+
+TEST(LinearModel, DegenerateConstantKeys)
+{
+    std::vector<double> xs(10, 5.0);
+    auto m = LinearModel::fitRanks(xs, 3.0);
+    EXPECT_DOUBLE_EQ(m.w, 0.0);
+    EXPECT_NEAR(m.predict(5.0), 7.5, 1e-9); // mean rank
+}
+
+TEST(LinearModel, SingleAndEmpty)
+{
+    EXPECT_DOUBLE_EQ(LinearModel::fitRanks({}, 0.0).predict(1.0), 0.0);
+    std::vector<double> one = {4.0};
+    EXPECT_DOUBLE_EQ(LinearModel::fitRanks(one, 9.0).predict(4.0), 9.0);
+}
+
+TEST(Mlp, ParamCountMatchesPaperShape)
+{
+    // 1 input, 10 hidden sigmoid: 10 w1 + 10 b1 + 10 w2 + 1 b2 = 31.
+    Mlp m1(1, 10, 1);
+    EXPECT_EQ(m1.paramCount(), 31u);
+    // The MTL non-leaf takes two inputs (k-mer, pos): 41 parameters.
+    Mlp m2(2, 10, 1);
+    EXPECT_EQ(m2.paramCount(), 41u);
+}
+
+TEST(Mlp, LearnsLinearFunction)
+{
+    Mlp mlp(1, 10, 42);
+    std::vector<Mlp::Sample> samples;
+    for (int i = 0; i <= 100; ++i) {
+        double x = i / 100.0;
+        samples.push_back({x, 0.0, 0.8 * x + 0.1});
+    }
+    mlp.train(samples, 400, 0.05);
+    for (double x : {0.1, 0.5, 0.9})
+        EXPECT_NEAR(mlp.predict(x), 0.8 * x + 0.1, 0.05) << "x=" << x;
+}
+
+TEST(Mlp, LearnsMildlyNonlinearCdf)
+{
+    Mlp mlp(1, 10, 7);
+    std::vector<Mlp::Sample> samples;
+    for (int i = 0; i <= 200; ++i) {
+        double x = i / 200.0;
+        samples.push_back({x, 0.0, x * x}); // convex CDF
+    }
+    mlp.train(samples, 600, 0.05);
+    double worst = 0.0;
+    for (int i = 0; i <= 20; ++i) {
+        double x = i / 20.0;
+        worst = std::max(worst, std::abs(mlp.predict(x) - x * x));
+    }
+    EXPECT_LT(worst, 0.08);
+}
+
+TEST(Mlp, TwoInputTaskSeparation)
+{
+    // y depends on both inputs; a 1-input model could not fit this.
+    Mlp mlp(2, 10, 9);
+    std::vector<Mlp::Sample> samples;
+    for (int a = 0; a <= 10; ++a)
+        for (int b = 0; b <= 10; ++b)
+            samples.push_back(
+                {a / 10.0, b / 10.0, 0.5 * (a / 10.0) + 0.4 * (b / 10.0)});
+    mlp.train(samples, 500, 0.05);
+    EXPECT_NEAR(mlp.predict(1.0, 0.0), 0.5, 0.07);
+    EXPECT_NEAR(mlp.predict(0.0, 1.0), 0.4, 0.07);
+}
+
+TEST(Mlp, TrainingIsDeterministic)
+{
+    std::vector<Mlp::Sample> samples;
+    for (int i = 0; i < 64; ++i)
+        samples.push_back({i / 64.0, 0.0, i / 64.0});
+    Mlp a(1, 10, 3), b(1, 10, 3);
+    a.train(samples, 50);
+    b.train(samples, 50);
+    for (double x : {0.0, 0.3, 0.9})
+        EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+std::vector<u32>
+sortedRandomKeys(u64 n, u64 seed, u32 max_key)
+{
+    Rng rng(seed);
+    std::vector<u32> keys(n);
+    for (auto &k : keys)
+        k = static_cast<u32>(rng.below(max_key));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+TEST(Rmi, LookupAlwaysReturnsLowerBound)
+{
+    auto keys = sortedRandomKeys(20000, 1, 1u << 24);
+    Rmi<u32> rmi;
+    Rmi<u32>::Config cfg;
+    cfg.leaf_size = 256;
+    rmi.build(keys, cfg);
+    Rng rng(2);
+    for (int t = 0; t < 500; ++t) {
+        u32 q = static_cast<u32>(rng.below(1u << 24));
+        auto res = rmi.lookup(q);
+        auto expect = static_cast<u64>(
+            std::lower_bound(keys.begin(), keys.end(), q) - keys.begin());
+        ASSERT_EQ(res.rank, expect) << "q=" << q;
+    }
+}
+
+TEST(Rmi, BoundaryKeys)
+{
+    auto keys = sortedRandomKeys(5000, 3, 1u << 20);
+    Rmi<u32> rmi;
+    rmi.build(keys, {});
+    EXPECT_EQ(rmi.lookup(0).rank,
+              static_cast<u64>(std::lower_bound(keys.begin(), keys.end(),
+                                                0u) - keys.begin()));
+    EXPECT_EQ(rmi.lookup(keys.back()).rank,
+              static_cast<u64>(std::lower_bound(keys.begin(), keys.end(),
+                                                keys.back()) -
+                               keys.begin()));
+    EXPECT_EQ(rmi.lookup(~u32{0}).rank, keys.size());
+}
+
+TEST(Rmi, SmallerLeavesGiveSmallerErrors)
+{
+    // Bursty keys (clusters) make linear leaves err; finer leaves help.
+    Rng rng(5);
+    std::vector<u32> keys;
+    u32 v = 0;
+    for (int c = 0; c < 200; ++c) {
+        v += static_cast<u32>(rng.below(100000)); // big jump
+        for (int i = 0; i < 100; ++i)
+            keys.push_back(v += static_cast<u32>(rng.below(3)));
+    }
+    auto mean_error = [&](u64 leaf) {
+        Rmi<u32> rmi;
+        Rmi<u32>::Config cfg;
+        cfg.leaf_size = leaf;
+        rmi.build(keys, cfg);
+        Rng qr(6);
+        double sum = 0.0;
+        for (int t = 0; t < 400; ++t)
+            sum += static_cast<double>(
+                rmi.lookup(static_cast<u32>(qr.below(v))).error);
+        return sum / 400.0;
+    };
+    EXPECT_LT(mean_error(128), mean_error(4096));
+}
+
+TEST(Rmi, ParamCountScalesWithLeaves)
+{
+    auto keys = sortedRandomKeys(10000, 7, 1u << 22);
+    Rmi<u32> coarse, fine;
+    Rmi<u32>::Config c1, c2;
+    c1.leaf_size = 4096;
+    c2.leaf_size = 128;
+    coarse.build(keys, c1);
+    fine.build(keys, c2);
+    EXPECT_GT(fine.paramCount(), coarse.paramCount());
+    EXPECT_EQ(coarse.leafCount(), 3u); // ceil(10000/4096)
+}
+
+TEST(Rmi, MlpRootWorksToo)
+{
+    auto keys = sortedRandomKeys(8000, 9, 1u << 20);
+    Rmi<u32> rmi;
+    Rmi<u32>::Config cfg;
+    cfg.mlp_root = true;
+    cfg.epochs = 30;
+    rmi.build(keys, cfg);
+    Rng rng(10);
+    for (int t = 0; t < 200; ++t) {
+        u32 q = static_cast<u32>(rng.below(1u << 20));
+        auto expect = static_cast<u64>(
+            std::lower_bound(keys.begin(), keys.end(), q) - keys.begin());
+        ASSERT_EQ(rmi.lookup(q).rank, expect);
+    }
+}
+
+TEST(Rmi, EmptyAndSingle)
+{
+    Rmi<u32> rmi;
+    rmi.build({}, {});
+    EXPECT_EQ(rmi.lookup(5).rank, 0u);
+    std::vector<u32> one = {42};
+    rmi.build(one, {});
+    EXPECT_EQ(rmi.lookup(10).rank, 0u);
+    EXPECT_EQ(rmi.lookup(42).rank, 0u);
+    EXPECT_EQ(rmi.lookup(43).rank, 1u);
+}
+
+TEST(Rmi, U64KeysExactAtHighMagnitude)
+{
+    // LISA composite keys reach ~2^48; ranks must stay exact.
+    Rng rng(11);
+    std::vector<u64> keys(5000);
+    for (auto &k : keys)
+        k = rng.below(u64{1} << 48);
+    std::sort(keys.begin(), keys.end());
+    Rmi<u64> rmi;
+    rmi.build(keys, {});
+    for (int t = 0; t < 300; ++t) {
+        u64 q = rng.below(u64{1} << 48);
+        auto expect = static_cast<u64>(
+            std::lower_bound(keys.begin(), keys.end(), q) - keys.begin());
+        ASSERT_EQ(rmi.lookup(q).rank, expect);
+    }
+}
+
+} // namespace
+} // namespace exma
