@@ -1,0 +1,54 @@
+# Helper functions shared by every module CMakeLists.
+#
+# Every src/ module goes through exma_add_module() so that
+#  - the C++20 requirement is attached to each target explicitly,
+#  - the warning / sanitizer flags are applied uniformly, and
+#  - every source file is recorded on the EXMA_CLAIMED_SOURCES global
+#    property, which feeds the build.source_coverage CTest entry
+#    (cmake/check_sources.cmake).
+
+define_property(GLOBAL PROPERTY EXMA_CLAIMED_SOURCES
+    BRIEF_DOCS "All .cc files claimed by some CMake target"
+    FULL_DOCS "Absolute paths of every source file added via \
+exma_add_module/exma_claim_sources; compared against a glob of \
+src/**/*.cc by the build.source_coverage test.")
+
+# Record absolute paths of the given sources on the global claim list.
+function(exma_claim_sources)
+    foreach(src IN LISTS ARGN)
+        get_filename_component(abs "${src}" ABSOLUTE)
+        set_property(GLOBAL APPEND PROPERTY EXMA_CLAIMED_SOURCES "${abs}")
+    endforeach()
+endfunction()
+
+# exma_add_module(<name> SOURCES <files...> [DEPS <exma targets...>])
+#
+# Defines static library exma_<name> with alias exma::<name>, public
+# include dir at the repo's src/, explicit C++20, and the shared
+# warning/sanitizer flags.
+function(exma_add_module name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    if(NOT ARG_SOURCES)
+        message(FATAL_ERROR "exma_add_module(${name}) needs SOURCES")
+    endif()
+
+    add_library(exma_${name} STATIC ${ARG_SOURCES})
+    add_library(exma::${name} ALIAS exma_${name})
+    target_include_directories(exma_${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+    target_compile_features(exma_${name} PUBLIC cxx_std_20)
+    target_link_libraries(exma_${name}
+        PUBLIC ${ARG_DEPS}
+        PRIVATE exma::build_flags)
+    exma_claim_sources(${ARG_SOURCES})
+endfunction()
+
+# exma_add_executable(<name> SOURCES <files...> [DEPS <exma targets...>])
+#
+# Same flag treatment for executables (tests, benches, examples).
+function(exma_add_executable name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    add_executable(${name} ${ARG_SOURCES})
+    target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR}/src)
+    target_compile_features(${name} PRIVATE cxx_std_20)
+    target_link_libraries(${name} PRIVATE ${ARG_DEPS} exma::build_flags)
+endfunction()

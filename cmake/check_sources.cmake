@@ -1,0 +1,42 @@
+# Test-time script behind the build.source_coverage CTest entry.
+#
+# Compares the list of sources claimed by CMake targets (MANIFEST,
+# generated at configure time from the EXMA_CLAIMED_SOURCES global
+# property) against a fresh glob of src/**/*.cc. A source file that
+# exists on disk but is absent from the manifest would compile in
+# nobody's target — fail loudly so new files can't silently drop out
+# of the build.
+#
+# Usage:
+#   cmake -DMANIFEST=<file> -DSRC_DIR=<repo src dir> -P check_sources.cmake
+
+cmake_minimum_required(VERSION 3.20) # script mode: sets CMP0057 for IN_LIST
+
+if(NOT MANIFEST OR NOT SRC_DIR)
+    message(FATAL_ERROR "check_sources.cmake needs -DMANIFEST= and -DSRC_DIR=")
+endif()
+if(NOT EXISTS "${MANIFEST}")
+    message(FATAL_ERROR "claimed-source manifest not found: ${MANIFEST}")
+endif()
+
+file(STRINGS "${MANIFEST}" claimed)
+file(GLOB_RECURSE on_disk "${SRC_DIR}/*.cc")
+
+set(orphans "")
+foreach(src IN LISTS on_disk)
+    if(NOT src IN_LIST claimed)
+        list(APPEND orphans "${src}")
+    endif()
+endforeach()
+
+if(orphans)
+    list(JOIN orphans "\n  " pretty)
+    message(FATAL_ERROR
+        "source files not claimed by any CMake target "
+        "(add them to their module's CMakeLists.txt and reconfigure):\n"
+        "  ${pretty}")
+endif()
+
+list(LENGTH on_disk n)
+message(STATUS "source coverage OK: all ${n} src/**/*.cc files are "
+               "claimed by a CMake target")

@@ -24,6 +24,11 @@ smithWaterman(const std::vector<Base> &query,
     for (int i = 1; i <= m; ++i) {
         const int lo = std::max(1, i - p.band);
         const int hi = std::min(n, i + p.band);
+        // Once the band slides entirely past the target (query much
+        // longer than target), no row has any cells left — and lo - 1
+        // would index past the end of the rolling rows.
+        if (lo > hi)
+            break;
         h_cur[static_cast<size_t>(lo - 1)] = 0;
         int f = kNegInf;
         for (int j = lo; j <= hi; ++j) {
@@ -48,12 +53,17 @@ smithWaterman(const std::vector<Base> &query,
                 res.ref_end = j;
             }
         }
-        if (hi < n)
+        // The band shifts by at most one column per row, so the next
+        // row only reads indices lo-1..hi+1 of these buffers: every
+        // in-band cell was written above, and the two boundary cells
+        // are reset here. No full-row clear — that would make the
+        // banded kernel O(m*n) instead of O(m*band).
+        if (hi < n) {
             h_cur[static_cast<size_t>(hi + 1)] = 0;
+            e_cur[static_cast<size_t>(hi + 1)] = kNegInf;
+        }
         std::swap(h_prev, h_cur);
         std::swap(e_prev, e_cur);
-        std::fill(h_cur.begin(), h_cur.end(), 0);
-        std::fill(e_cur.begin(), e_cur.end(), kNegInf);
     }
     return res;
 }

@@ -58,6 +58,25 @@ TEST(SmithWaterman, EmptyInputs)
     EXPECT_EQ(smithWaterman(encodeSeq("ACGT"), {}).cells, 0u);
 }
 
+TEST(SmithWaterman, QueryMuchLongerThanTargetStaysInBounds)
+{
+    // Regression: when m > n + band the band slides entirely past the
+    // target; the row setup used to write h_cur[lo - 1] with
+    // lo - 1 > n, off the end of the rolling rows.
+    auto t = encodeSeq("ACGTACGTAC");
+    std::vector<Base> q = t;
+    q.resize(100, Base{3});
+    SwResult r = smithWaterman(q, t);
+    EXPECT_EQ(r.score, 20); // the 10-base prefix match
+    EXPECT_EQ(r.query_end, 10);
+    EXPECT_EQ(r.ref_end, 10);
+
+    SwParams narrow;
+    narrow.band = 1;
+    SwResult rn = smithWaterman(q, t, narrow);
+    EXPECT_EQ(rn.score, 20);
+}
+
 TEST(Aligner, MapsCleanReadsCorrectly)
 {
     auto ref = appRef();
