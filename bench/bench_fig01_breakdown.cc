@@ -54,8 +54,9 @@ assemblyCounts(const std::vector<Base> &ref, const ErrorProfile &profile,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 1",
                   "execution-time breakdown of genome analysis "
                   "(FM-Index vs DynPro vs Other)");
@@ -104,7 +105,7 @@ main()
         emit("compress", compressAgainstReference(fm, target).counts);
     }
 
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper: FM-Index searches cost 31%~81% of execution "
                  "time across these applications.\n";
     return 0;

@@ -19,8 +19,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 6", "prior FM-Index algorithm inefficiency");
     const Dataset &ds = bench::dataset("human");
 
@@ -55,7 +56,7 @@ main()
                    TextTable::bytes(
                        lisaSizeBytes(3000000000ULL, k).total())});
         }
-        t.print(std::cout);
+        bench::printTable(t, "6b_dram_overhead_vs_step");
         std::cout << "paper: FM-5 = 105GB, FM-6 = 374GB; LISA grows "
                      "linearly.\n\n";
     }
@@ -71,7 +72,7 @@ main()
         t.row({TextTable::num(s.min, 0), TextTable::num(s.p25, 0),
                TextTable::num(s.p50, 0), TextTable::num(s.p75, 0),
                TextTable::num(s.max, 0), TextTable::num(s.mean, 1)});
-        t.print(std::cout);
+        bench::printTable(t, "6c_lisa_error_distribution");
         const double paper_equiv =
             s.mean * 3000000000.0 / static_cast<double>(ds.ref.size());
         std::cout << "mean scaled to 3 Gbp (errors grow ~linearly with "
@@ -110,7 +111,7 @@ main()
         for (const auto &s : schemes)
             t.row({s.name,
                    TextTable::num(cpuNormalizedThroughput(s), 2)});
-        t.print(std::cout);
+        bench::printTable(t, "6d_cpu_throughput");
         std::cout << "paper: FM-5 = 1.21x, LISA-21 = 2.15x, "
                      "LISA-21P = 5.1x, LISA-21PC = 8.53x.\n";
     }

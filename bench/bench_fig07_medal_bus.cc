@@ -13,8 +13,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 7", "MEDAL's shared address bus serialises "
                             "chip-level parallelism");
 
@@ -52,7 +53,7 @@ main()
                std::to_string(rec.coord.chip),
                std::to_string(rec.coord.row)});
     }
-    t.print(std::cout);
+    bench::printTable(t);
 
     // Scale up: many chips, measure how far the command bus is from
     // keeping every lane busy.

@@ -21,7 +21,7 @@ double
 measuredError(const ExmaTable &table, const Dataset &ds)
 {
     auto pats = bench::patterns(ds, 200);
-    ExmaTable::SearchStats stats;
+    SearchStats stats;
     for (const auto &p : pats)
         table.search(p, &stats);
     const u64 lookups = 2 * stats.kstep_iterations;
@@ -33,8 +33,9 @@ measuredError(const ExmaTable &table, const Dataset &ds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 10", "EXMA table step-number trade-off");
     const Dataset &ds = bench::dataset("human");
 
@@ -51,7 +52,7 @@ main()
                    TextTable::bytes(s.bases),
                    TextTable::bytes(s.total())});
         }
-        t.print(std::cout);
+        bench::printTable(t, "10a_table_size_vs_step");
         std::cout << "paper: 15-step = 29.5GB, 16-step = 41.5GB "
                      "(+12GB).\n\n";
     }
@@ -91,7 +92,7 @@ main()
             t.row({s.name, TextTable::num(thr, 2),
                    TextTable::num(thr / lisa_thr, 2)});
         }
-        t.print(std::cout);
+        bench::printTable(t, "10b_cpu_throughput");
         std::cout << "measured mean Occ errors (scaled -> 3 Gbp): naive="
                   << TextTable::num(naive_err, 0)
                   << " mtl=" << TextTable::num(mtl_err, 0) << "\n";

@@ -13,8 +13,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 11", "increment distributions of heavy k-mers");
     const ExmaTable &table = bench::exmaTable("human", OccIndexMode::Exact);
     const KmerOccTable &occ = table.occTable();
@@ -50,7 +51,7 @@ main()
         }
         t.row(row);
     }
-    t.print(std::cout);
+    bench::printTable(t);
 
     // Pairwise KS distance between normalised CDFs.
     auto ks = [&](Kmer a, Kmer b) {

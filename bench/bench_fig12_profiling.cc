@@ -13,8 +13,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 12", "per-increment-class population and search "
                              "time (naive learned index)");
     const Dataset &ds = bench::dataset("human");
@@ -60,7 +61,7 @@ main()
                                   : 0.0,
                               1)});
     }
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper: 2.5E-5% of 15-mers fall in 64K-256K yet eat "
                  "36% of search time; the heaviest classes dominate "
                  "cost, motivating the MTL index.\n";

@@ -14,8 +14,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 13", "naive vs MTL index prediction errors");
     const Dataset &ds = bench::dataset("human");
     const ExmaTable &naive =
@@ -67,7 +68,7 @@ main()
                TextTable::num(ms.p75, 0), TextTable::num(ms.max, 0),
                TextTable::num(ms.mean, 1)});
     }
-    t.print(std::cout);
+    bench::printTable(t);
 
     std::cout << "\nindex parameters: naive=" << naive.indexParamCount()
               << "  MTL=" << mtl.indexParamCount() << "\n";

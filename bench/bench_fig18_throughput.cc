@@ -15,8 +15,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 18", "search throughput of EXMA design points "
                              "(normalised to the CPU LISA baseline)");
 
@@ -31,7 +32,7 @@ main()
         // EXMA-15 in software: same chain engine as the CPU baseline
         // but k_exma symbols per iteration and the MTL error profile.
         const ExmaTable &table = bench::exmaTable(name, OccIndexMode::Mtl);
-        ExmaTable::SearchStats stats;
+        SearchStats stats;
         for (const auto &p : bench::patterns(ds, 100))
             table.search(p, &stats);
         const double mtl_err =
@@ -79,7 +80,7 @@ main()
            TextTable::num(bench::gmean(gacc), 2),
            TextTable::num(bench::gmean(g2s), 2),
            TextTable::num(bench::gmean(gfull), 2)});
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper (gmean): EXMA-15 = 1.8x, EX-acc = 7.25x, "
                  "EX-2stage = 15x, EXMA = 23.6x over the CPU.\n";
     return 0;

@@ -86,8 +86,9 @@ runApps(const Dataset &ds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 19", "application speedup with EXMA "
                              "(normalised to CPU)");
     TextTable t;
@@ -115,7 +116,7 @@ main()
     }
     t.row({"gmean", "", "",
            TextTable::num(bench::gmean(all), 2)});
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper: EXMA improves genome-analysis performance by "
                  "2.5x~3.2x across datasets (FM share caps the Amdahl "
                  "gain).\n";

@@ -15,8 +15,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 20", "energy reduction of EXMA in genome "
                              "analysis (normalised to CPU)");
 
@@ -68,7 +69,7 @@ main()
                TextTable::num(ex_a.total() / cpu_a.total(), 3)});
         totals.push_back(ex_a.total() / cpu_a.total());
     }
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\ngmean normalised energy: "
               << TextTable::num(bench::gmean(totals), 3)
               << "  (paper: EXMA cuts total energy by 61%~70%, i.e. "

@@ -10,8 +10,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 21", "bandwidth utilization (pinus)");
     const Dataset &ds = bench::dataset("pinus");
     const u64 footprint = std::max<u64>(u64{1} << 22,
@@ -49,7 +50,7 @@ main()
         t.row({"EXMA", TextTable::num(100 * r.bandwidth_utilization, 1),
                TextTable::num(100 * r.dram_row_hit_rate, 1)});
     }
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper: ASIC 26%, GPU higher, MEDAL 67% (address-bus "
                  "bound), EXMA 91% (dynamic page policy).\n";
     return 0;

@@ -31,8 +31,9 @@ runExma(const ExmaTable &table,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 22", "design space exploration (norm. to EXMA "
                              "baseline config)");
     const Dataset &ds = bench::dataset("pinus");
@@ -87,7 +88,7 @@ main()
                                   baseline,
                               2)});
 
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\npaper: 2 DIMMs = EXMA +29% over MEDAL; 3 DIMMs "
                  "+40% for EXMA vs +14.5% for MEDAL; 2 PE arrays reach "
                  "89% of 4; 256-entry CAM reaches 77% of 512; 1MB base "

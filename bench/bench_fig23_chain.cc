@@ -18,8 +18,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Fig. 23", "CHAIN vs B∆I on pinus");
     const Dataset &ds = bench::dataset("pinus");
 
@@ -73,7 +74,7 @@ main()
            TextTable::num(static_cast<double>(sz.totalChain()) /
                               static_cast<double>(sz.totalRaw()),
                           2)});
-    t.print(std::cout);
+    bench::printTable(t);
 
     // Paper-scale projection (31 Gbp) using the measured ratios.
     const double chain_ratio =

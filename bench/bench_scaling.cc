@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Thread-scaling of the batched search front end (the serving-side
+ * analogue of Fig. 18's query-level parallelism): Mbases/s of
+ * BatchSearcher over the human dataset at 1, 2, 4, ...,
+ * hardware_concurrency threads, against the sequential
+ * ExmaTable::search loop as the 1-thread reference. Results are
+ * verified bit-identical to the sequential run at every width.
+ */
+
+#include "bench_util.hh"
+
+#include <algorithm>
+
+#include "batch/batch_searcher.hh"
+#include "common/thread_pool.hh"
+
+using namespace exma;
+
+int
+main(int argc, char **argv)
+{
+    bench::init(argc, argv);
+    bench::banner("Scaling", "batched search throughput vs thread count "
+                             "(human dataset)");
+
+    const Dataset &ds = bench::dataset("human");
+    const ExmaTable &table = bench::exmaTable("human", OccIndexMode::Mtl);
+    const u64 n_queries =
+        std::max<u64>(256, static_cast<u64>(4000.0 * bench::scale()));
+    const auto queries = bench::patterns(ds, n_queries);
+
+    // Sequential reference (and correctness baseline).
+    BatchConfig seq_cfg;
+    seq_cfg.threads = 1;
+    const BatchResult seq = BatchSearcher(table, seq_cfg).search(queries);
+
+    const unsigned hw = hardwareThreads();
+    std::vector<unsigned> widths{1};
+    for (unsigned w = 2; w < hw; w *= 2)
+        widths.push_back(w);
+    if (hw > 1)
+        widths.push_back(hw);
+
+    TextTable t;
+    t.header({"threads", "Mbases/s", "speedup", "kstep_iters", "match"});
+    double base_mbases = 0.0;
+    for (unsigned w : widths) {
+        BatchConfig cfg;
+        cfg.threads = w;
+        // Best-of-3 to de-noise the wall-clock measurement.
+        BatchResult best;
+        for (int rep = 0; rep < 3; ++rep) {
+            BatchResult r = BatchSearcher(table, cfg).search(queries);
+            if (rep == 0 || r.seconds < best.seconds)
+                best = std::move(r);
+        }
+        const bool match = best.intervals == seq.intervals &&
+                           best.stats == seq.stats;
+        const double mbases = best.mbasesPerSecond();
+        if (w == 1)
+            base_mbases = mbases;
+        const double speedup = base_mbases > 0.0 ? mbases / base_mbases
+                                                 : 0.0;
+        bench::note("mbases_per_s_t" + std::to_string(w), mbases);
+        t.row({std::to_string(w), TextTable::num(mbases, 2),
+               TextTable::num(speedup, 2),
+               std::to_string(best.stats.kstep_iterations),
+               match ? "yes" : "NO"});
+        if (!match) {
+            std::cerr << "FATAL: batched results diverge from the "
+                         "sequential reference at "
+                      << w << " threads\n";
+            return 1;
+        }
+    }
+    bench::printTable(t);
+    std::cout << "\n(" << n_queries << " queries of "
+              << (queries.empty() ? 0 : queries[0].size())
+              << " bp; hardware_concurrency=" << hw
+              << ". The paper's accelerator gets its throughput from "
+                 "query-level parallelism — this is the CPU analogue.)\n";
+    return 0;
+}

@@ -10,8 +10,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table I", "hardware configuration of EXMA");
 
     AcceleratorConfig cfg;
@@ -31,7 +32,7 @@ main()
            TextTable::num(cfg.sched_pj, 2)});
     t.row({"DMA ctrl", "adopted from [52]", "0.21",
            TextTable::num(cfg.dma_pj, 2)});
-    t.print(std::cout);
+    bench::printTable(t);
     std::cout << "\naccelerator total: area 1.62 mm2, leakage "
               << TextTable::num(cfg.leakage_mw, 1) << " mW @ "
               << TextTable::num(cfg.clock_mhz, 0) << " MHz\n";

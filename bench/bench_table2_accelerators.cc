@@ -12,8 +12,9 @@
 using namespace exma;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::init(argc, argv);
     bench::banner("Table II", "accelerator comparison on pinus");
     const Dataset &ds = bench::dataset("pinus");
     const auto &lm = bench::lisaMeasurement("pinus");
@@ -88,7 +89,7 @@ main()
            TextTable::num(exma_w, 3), TextTable::num(exma_mem_w, 1),
            TextTable::num(exma_mb, 1), TextTable::num(exma_mbw, 2),
            TextTable::num(100 * exma.bandwidth_utilization, 1)});
-    t.print(std::cout);
+    bench::printTable(t);
 
     std::cout << "\nEXMA vs MEDAL: throughput "
               << TextTable::num(exma_mb / medal_mb, 2)

@@ -2,12 +2,189 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 
+#include "common/json.hh"
 #include "fmindex/suffix_array.hh"
 
 namespace exma {
 namespace bench {
+
+// ---------------------------------------------------------------------------
+// JSON report: one document per harness run, written at process exit to
+// the --json / EXMA_BENCH_JSON destination. Figure sections are opened
+// by banner(); printTable()/note() append to the most recent section.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonTable
+{
+    std::string title;
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+struct JsonFigure
+{
+    std::string figure;
+    std::string what;
+    std::vector<std::pair<std::string, double>> notes;
+    std::vector<JsonTable> tables;
+};
+
+/** Full parse of @p s as a finite double ("1.23" yes, "1.23x" no). */
+bool
+asNumber(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || !std::isfinite(v))
+        return false;
+    *out = v;
+    return true;
+}
+
+struct JsonReport
+{
+    std::string path;
+    std::string harness;
+    std::vector<JsonFigure> figures;
+
+    ~JsonReport() { write(); }
+
+    JsonFigure &
+    current()
+    {
+        if (figures.empty())
+            figures.emplace_back();
+        return figures.back();
+    }
+
+    void
+    write() const
+    {
+        if (path.empty())
+            return;
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "bench: cannot write JSON report to " << path
+                      << "\n";
+            return;
+        }
+        JsonWriter w(os);
+        w.beginObject()
+            .field("harness", harness)
+            .field("scale", scale());
+        w.key("figures").beginArray();
+        for (const JsonFigure &fig : figures) {
+            w.beginObject()
+                .field("figure", fig.figure)
+                .field("what", fig.what);
+            w.key("notes").beginObject();
+            for (const auto &kv : fig.notes)
+                w.field(kv.first, kv.second);
+            w.endObject();
+            w.key("tables").beginArray();
+            for (const JsonTable &t : fig.tables) {
+                w.beginObject().field("title", t.title);
+                w.key("columns").beginArray();
+                for (const std::string &c : t.columns)
+                    w.value(c);
+                w.endArray();
+                w.key("rows").beginArray();
+                for (const auto &row : t.rows) {
+                    w.beginObject();
+                    for (size_t i = 0; i < row.size(); ++i) {
+                        const std::string col =
+                            i < t.columns.size() && !t.columns[i].empty()
+                                ? t.columns[i]
+                                : "col" + std::to_string(i);
+                        double num = 0.0;
+                        if (asNumber(row[i], &num))
+                            w.field(col, num);
+                        else
+                            w.field(col, row[i]);
+                    }
+                    w.endObject();
+                }
+                w.endArray().endObject();
+            }
+            w.endArray().endObject();
+        }
+        w.endArray().endObject();
+        os << "\n";
+    }
+};
+
+JsonReport &
+report()
+{
+    static JsonReport r;
+    return r;
+}
+
+} // namespace
+
+std::string
+jsonDestination(int &argc, char **argv)
+{
+    std::string path;
+    int w = 0;
+    for (int i = 0; i < argc; ++i) {
+        if (i > 0 && std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            path = argv[++i];
+        else if (i > 0 && std::strncmp(argv[i], "--json=", 7) == 0)
+            path = argv[i] + 7;
+        else
+            argv[w++] = argv[i];
+    }
+    argc = w;
+    if (path.empty()) {
+        const char *env = std::getenv("EXMA_BENCH_JSON");
+        if (env && *env)
+            path = env;
+    }
+    return path;
+}
+
+void
+init(int &argc, char **argv)
+{
+    JsonReport &r = report();
+    if (argc > 0 && argv[0]) {
+        const std::string exe = argv[0];
+        const size_t slash = exe.find_last_of('/');
+        r.harness = slash == std::string::npos ? exe : exe.substr(slash + 1);
+    }
+    r.path = jsonDestination(argc, argv);
+}
+
+void
+printTable(const TextTable &t, const std::string &title)
+{
+    t.print(std::cout);
+    JsonReport &r = report();
+    if (r.path.empty())
+        return;
+    JsonTable jt;
+    jt.title = title;
+    jt.columns = t.headerCells();
+    jt.rows = t.rowCells();
+    r.current().tables.push_back(std::move(jt));
+}
+
+void
+note(const std::string &key, double value)
+{
+    JsonReport &r = report();
+    if (!r.path.empty())
+        r.current().notes.emplace_back(key, value);
+}
 
 double
 scale()
@@ -38,6 +215,13 @@ banner(const std::string &fig, const std::string &what)
     std::cout << "\n=== " << fig << ": " << what << " ===\n"
               << "(scale=" << scale() << " of DESIGN.md defaults; "
               << "set EXMA_BENCH_SCALE to change)\n\n";
+    JsonReport &r = report();
+    if (!r.path.empty()) {
+        JsonFigure f;
+        f.figure = fig;
+        f.what = what;
+        r.figures.push_back(std::move(f));
+    }
 }
 
 double

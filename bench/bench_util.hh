@@ -31,11 +31,40 @@ namespace bench {
 /** EXMA_BENCH_SCALE (default 0.25). */
 double scale();
 
+/**
+ * Harness entry hook: consumes `--json <path>` from argv (falling back
+ * to the EXMA_BENCH_JSON environment variable; argc/argv are compacted
+ * in place so later argument parsing never re-sees the flag) and
+ * remembers the harness name for the JSON report. Every harness calls
+ * this first; with no JSON destination configured it is a no-op. The
+ * report is written when the process exits normally.
+ */
+void init(int &argc, char **argv);
+
+/**
+ * The one implementation of the JSON-destination convention: consume
+ * `--json <path>` / `--json=<path>` from argv (compacting it and
+ * updating @p argc), falling back to EXMA_BENCH_JSON. Returns "" when
+ * no destination is configured. init() uses this; harnesses with
+ * their own argument parsing (bench_micro_kernels) call it directly.
+ */
+std::string jsonDestination(int &argc, char **argv);
+
 /** Scaled dataset (cached per process). */
 const Dataset &dataset(const std::string &name);
 
-/** Print a figure banner. */
+/** Print a figure banner (and open a figure section in the report). */
 void banner(const std::string &fig, const std::string &what);
+
+/**
+ * Print @p t to stdout and, when a JSON destination is configured,
+ * record it under the current banner's figure section. Cells that
+ * parse fully as numbers are emitted as JSON numbers.
+ */
+void printTable(const TextTable &t, const std::string &title = "");
+
+/** Record a free-standing key/number pair in the current section. */
+void note(const std::string &key, double value);
 
 /** Geometric mean. */
 double gmean(const std::vector<double> &v);

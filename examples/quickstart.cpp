@@ -43,7 +43,7 @@ main(int argc, char **argv)
     std::cout << "3. searching 5 sampled patterns...\n";
     auto queries = samplePatterns(ref, 5, 48, 42);
     for (const auto &q : queries) {
-        ExmaTable::SearchStats stats;
+        SearchStats stats;
         Interval iv = table.search(q, &stats);
         std::cout << "   " << decodeSeq(q).substr(0, 24) << "... -> "
                   << iv.count() << " hit(s), "

@@ -1,0 +1,48 @@
+#include "batch/batch_searcher.hh"
+
+#include <chrono>
+
+#include "common/thread_pool.hh"
+
+namespace exma {
+
+BatchSearcher::BatchSearcher(const ExmaTable &table, BatchConfig cfg)
+    : table_(table), cfg_(cfg)
+{
+}
+
+BatchResult
+BatchSearcher::search(const std::vector<std::vector<Base>> &queries) const
+{
+    BatchResult out;
+    out.queries = queries.size();
+    out.intervals.resize(queries.size());
+    out.per_thread.assign(parallelForSlots(cfg_.threads), SearchStats{});
+    if (cfg_.per_query_stats)
+        out.per_query.assign(queries.size(), SearchStats{});
+
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(
+        queries.size(), cfg_.grain,
+        [&](u64 begin, u64 end, unsigned slot) {
+            SearchStats &acc = out.per_thread[slot];
+            for (u64 i = begin; i < end; ++i) {
+                SearchStats qs;
+                out.intervals[i] = table_.search(queries[i], &qs);
+                acc += qs;
+                if (cfg_.per_query_stats)
+                    out.per_query[i] = qs;
+            }
+        },
+        cfg_.threads);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const auto &q : queries)
+        out.bases += q.size();
+    for (const SearchStats &s : out.per_thread)
+        out.stats += s;
+    return out;
+}
+
+} // namespace exma

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Batched, thread-pooled front end over ExmaTable::search — the
+ * serving-scale counterpart of the paper's query-level parallelism
+ * (EXMA's CAM scheduler keeps hundreds of searches in flight; Fig. 18
+ * judges the design on Mbases/s over large query batches).
+ *
+ * The searcher fans a query batch out across a ThreadPool with chunked
+ * dynamic scheduling. Results land at their query's index, so output
+ * ordering is deterministic and bit-identical to a sequential loop
+ * regardless of thread count or scheduling order; instrumentation is
+ * accumulated per worker slot and merged afterwards (counter sums are
+ * order-independent), so the hot path takes no locks.
+ */
+
+#ifndef EXMA_BATCH_BATCH_SEARCHER_HH
+#define EXMA_BATCH_BATCH_SEARCHER_HH
+
+#include <vector>
+
+#include "common/dna.hh"
+#include "common/search_stats.hh"
+#include "core/exma_table.hh"
+
+namespace exma {
+
+struct BatchConfig
+{
+    /** Worker width: 0 = all hardware threads, 1 = sequential. */
+    unsigned threads = 0;
+    /** Queries per dynamically claimed chunk. */
+    u64 grain = 16;
+    /** Record per-query SearchStats too (costs one vector of stats). */
+    bool per_query_stats = false;
+};
+
+/** Outcome of one batch: index-aligned with the input queries. */
+struct BatchResult
+{
+    std::vector<Interval> intervals;
+    SearchStats stats;                     ///< merged across all workers
+    std::vector<SearchStats> per_thread;   ///< one per participant slot
+    std::vector<SearchStats> per_query;    ///< iff cfg.per_query_stats
+    u64 queries = 0;
+    u64 bases = 0;     ///< total query symbols searched
+    double seconds = 0.0;
+
+    double
+    mbasesPerSecond() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(bases) / seconds / 1e6
+                   : 0.0;
+    }
+};
+
+class BatchSearcher
+{
+  public:
+    explicit BatchSearcher(const ExmaTable &table, BatchConfig cfg = {});
+
+    const BatchConfig &config() const { return cfg_; }
+
+    /** Search every query; wall-clock timed (result.seconds). */
+    BatchResult search(const std::vector<std::vector<Base>> &queries) const;
+
+  private:
+    const ExmaTable &table_;
+    BatchConfig cfg_;
+};
+
+} // namespace exma
+
+#endif // EXMA_BATCH_BATCH_SEARCHER_HH

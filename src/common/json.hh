@@ -1,0 +1,154 @@
+/**
+ * @file
+ * A minimal header-only JSON writer for the bench harnesses: streaming
+ * begin/end object-array nesting with automatic comma placement, RFC
+ * 8259 string escaping, and locale-independent number formatting. No
+ * parsing, no DOM — the harnesses only ever *emit* figure records.
+ */
+
+#ifndef EXMA_COMMON_JSON_HH
+#define EXMA_COMMON_JSON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace exma {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject() { openContainer('{'); return *this; }
+    JsonWriter &endObject() { closeContainer('}'); return *this; }
+    JsonWriter &beginArray() { openContainer('['); return *this; }
+    JsonWriter &endArray() { closeContainer(']'); return *this; }
+
+    /** Emit an object key; the next emitted value belongs to it. */
+    JsonWriter &
+    key(const std::string &k)
+    {
+        separate();
+        os_ << quoted(k) << ':';
+        have_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &v) { return raw(quoted(v)); }
+    JsonWriter &value(const char *v) { return raw(quoted(v)); }
+    JsonWriter &value(bool v) { return raw(v ? "true" : "false"); }
+    JsonWriter &value(double v) { return raw(number(v)); }
+    JsonWriter &
+    value(u64 v)
+    {
+        return raw(std::to_string(v));
+    }
+    JsonWriter &
+    value(i64 v)
+    {
+        return raw(std::to_string(v));
+    }
+    JsonWriter &value(int v) { return value(static_cast<i64>(v)); }
+    JsonWriter &value(unsigned v) { return value(static_cast<u64>(v)); }
+    JsonWriter &nullValue() { return raw("null"); }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** RFC 8259 string escaping (quotes included). */
+    static std::string
+    quoted(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size() + 2);
+        out += '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\b': out += "\\b"; break;
+              case '\f': out += "\\f"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    /** Locale-independent double (JSON has no NaN/Inf — emit null). */
+    static std::string
+    number(double v)
+    {
+        if (!std::isfinite(v))
+            return "null";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        return buf;
+    }
+
+  private:
+    void
+    separate()
+    {
+        if (have_key_)
+            have_key_ = false;
+        else if (!needs_comma_.empty() && needs_comma_.back())
+            os_ << ',';
+        if (!needs_comma_.empty())
+            needs_comma_.back() = true;
+    }
+
+    void
+    openContainer(char c)
+    {
+        separate();
+        os_ << c;
+        needs_comma_.push_back(false);
+    }
+
+    void
+    closeContainer(char c)
+    {
+        needs_comma_.pop_back();
+        os_ << c;
+    }
+
+    JsonWriter &
+    raw(const std::string &text)
+    {
+        separate();
+        os_ << text;
+        return *this;
+    }
+
+    std::ostream &os_;
+    std::vector<bool> needs_comma_;
+    bool have_key_ = false;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_JSON_HH

@@ -31,6 +31,13 @@ class TextTable
     /** Format a byte count as B/KB/MB/GB with two decimals. */
     static std::string bytes(double v);
 
+    /** Raw cells, for machine-readable re-emission (bench JSON). */
+    const std::vector<std::string> &headerCells() const { return header_; }
+    const std::vector<std::vector<std::string>> &rowCells() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,208 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace exma {
+
+unsigned
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        stop_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx_);
+        tasks_.push_back(std::move(task));
+        ++unfinished_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx_);
+    idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx_);
+            task_ready_.wait(lock,
+                             [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mtx_);
+            --unfinished_;
+        }
+        idle_.notify_all();
+    }
+}
+
+namespace {
+
+/**
+ * Shared state of one parallelFor invocation. Completion is defined on
+ * the chunks, not the spawned tasks: the chunk count is known exactly
+ * up front, every sub-n cursor claim maps to exactly one chunk, and
+ * the loop is done when the completed-chunk count reaches the total —
+ * there is no window between claiming a chunk and being visible to the
+ * completion predicate. Spawned helper tasks that only get scheduled
+ * after that point see an exhausted cursor and exit immediately —
+ * nobody has to wait for them, which keeps nested parallelFor calls on
+ * a shared pool deadlock-free.
+ */
+struct LoopState
+{
+    u64 n = 0;
+    u64 grain = 1;
+    u64 total_chunks = 0;
+    const std::function<void(u64, u64, unsigned)> *fn = nullptr;
+
+    std::atomic<u64> next{0};
+    std::mutex mtx;
+    std::condition_variable done_cv;
+    u64 completed_chunks = 0;       ///< guarded by mtx
+    std::exception_ptr first_error; ///< guarded by mtx
+
+    /** Claim and run chunks until the cursor is exhausted. */
+    void
+    participate(unsigned slot)
+    {
+        for (;;) {
+            const u64 begin = next.fetch_add(grain);
+            if (begin >= n)
+                return;
+            const u64 end = std::min(begin + grain, n);
+            try {
+                (*fn)(begin, end, slot);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            bool last = false;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                last = ++completed_chunks == total_chunks;
+            }
+            if (last)
+                done_cv.notify_all();
+        }
+    }
+
+    void
+    waitDone()
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        done_cv.wait(lock,
+                     [this] { return completed_chunks == total_chunks; });
+    }
+};
+
+/**
+ * Run [0, n) on @p pool with @p width participant slots total (the
+ * caller is slot 0, helpers take 1..width-1), then rethrow the first
+ * chunk error.
+ */
+void
+runLoop(ThreadPool &pool, u64 n, u64 grain,
+        const std::function<void(u64, u64, unsigned)> &fn, unsigned width)
+{
+    auto state = std::make_shared<LoopState>();
+    state->n = n;
+    state->grain = grain;
+    state->total_chunks = (n + grain - 1) / grain;
+    state->fn = &fn;
+
+    const unsigned helpers = static_cast<unsigned>(
+        std::min<u64>(width > 0 ? width - 1 : 0, state->total_chunks));
+    for (unsigned h = 0; h < helpers; ++h)
+        pool.submit([state, slot = h + 1] { state->participate(slot); });
+
+    state->participate(0);
+    state->waitDone();
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
+}
+
+} // namespace
+
+void
+ThreadPool::parallelFor(u64 n, u64 grain,
+                        const std::function<void(u64, u64, unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    runLoop(*this, n, std::max<u64>(grain, 1), fn, slotCount());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+unsigned
+parallelForSlots(unsigned threads)
+{
+    if (threads == 1)
+        return 1;
+    const unsigned width = ThreadPool::global().slotCount();
+    return threads == 0 ? width : std::min(threads, width);
+}
+
+void
+parallelFor(u64 n, u64 grain,
+            const std::function<void(u64, u64, unsigned)> &fn,
+            unsigned threads)
+{
+    if (n == 0)
+        return;
+    grain = std::max<u64>(grain, 1);
+    const unsigned width = parallelForSlots(threads);
+    if (width == 1) {
+        for (u64 begin = 0; begin < n; begin += grain)
+            fn(begin, std::min(begin + grain, n), 0);
+        return;
+    }
+    runLoop(ThreadPool::global(), n, grain, fn, width);
+}
+
+} // namespace exma

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/search_stats.hh"
 #include "fmindex/fm_index.hh"
 #include "fmindex/kmer_occ.hh"
 #include "learned/mtl_index.hh"
@@ -67,15 +68,13 @@ class ExmaTable
     /** Count_k(P) — cumulative rows below P (tiny, cached in SRAM). */
     u64 countBefore(Kmer code) const { return occ_->countBefore(code); }
 
-    /** Aggregate search instrumentation for the timing models. */
-    struct SearchStats
-    {
-        u64 kstep_iterations = 0;
-        u64 onestep_iterations = 0;
-        u64 total_error = 0;
-        u64 total_probes = 0;
-        u64 model_lookups = 0;
-    };
+    /**
+     * Aggregate search instrumentation for the timing models. Hoisted
+     * to common/search_stats.hh so batched (multi-threaded) callers
+     * can keep one per worker and merge; the nested name stays as an
+     * alias for existing callers.
+     */
+    using SearchStats = exma::SearchStats;
 
     /** One k-step iteration (two Occ lookups sharing the k-mer). */
     Interval stepKmer(const Interval &iv, Kmer code,

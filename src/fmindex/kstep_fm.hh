@@ -11,17 +11,18 @@
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/search_stats.hh"
 #include "fmindex/fm_index.hh"
 #include "fmindex/kmer_occ.hh"
 
 namespace exma {
 
-/** Per-search instrumentation for the timing models. */
-struct KStepStats
-{
-    u64 kstep_iterations = 0; ///< k-symbol Occ-pair iterations
-    u64 onestep_iterations = 0; ///< remainder 1-symbol iterations
-};
+/**
+ * Per-search instrumentation for the timing models — the shared
+ * SearchStats counters (this engine only drives the two iteration
+ * counts; the error/probe/model fields stay zero).
+ */
+using KStepStats = SearchStats;
 
 class KStepFmIndex
 {

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "batch/batch_searcher.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "genome/reads.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+namespace {
+
+const std::vector<Base> &
+testRef()
+{
+    static const std::vector<Base> ref = [] {
+        ReferenceSpec spec;
+        spec.length = 1 << 16;
+        spec.repeat_fraction = 0.5;
+        spec.seed = 77;
+        return generateReference(spec);
+    }();
+    return ref;
+}
+
+ExmaTable::Config
+cfgFor(OccIndexMode mode, int k = 4)
+{
+    ExmaTable::Config cfg;
+    cfg.k = k;
+    cfg.mode = mode;
+    cfg.mtl.epochs = 15;
+    cfg.mtl.samples_per_class = 1024;
+    cfg.naive.epochs = 8;
+    return cfg;
+}
+
+const ExmaTable &
+mtlTable()
+{
+    static const ExmaTable table(testRef(), cfgFor(OccIndexMode::Mtl));
+    return table;
+}
+
+/**
+ * A randomized query mix: mostly substrings of the reference (hits,
+ * various lengths so the k-step/1-step split varies), plus pure-random
+ * queries that mostly miss, plus a couple of degenerate lengths.
+ */
+std::vector<std::vector<Base>>
+randomQueries(u64 count, u64 seed)
+{
+    const auto &ref = testRef();
+    Rng rng(seed);
+    std::vector<std::vector<Base>> qs;
+    qs.reserve(count);
+    for (u64 i = 0; i < count; ++i) {
+        const u64 len = 3 + rng.below(60);
+        std::vector<Base> q;
+        if (i % 4 != 3 && len <= ref.size()) {
+            const u64 pos = rng.below(ref.size() - len + 1);
+            q.assign(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                     ref.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        } else {
+            q.resize(len);
+            for (auto &b : q)
+                b = static_cast<Base>(rng.below(4));
+        }
+        qs.push_back(std::move(q));
+    }
+    return qs;
+}
+
+/** Sequential ground truth straight through ExmaTable::search. */
+std::pair<std::vector<Interval>, SearchStats>
+sequentialReference(const ExmaTable &table,
+                    const std::vector<std::vector<Base>> &qs)
+{
+    std::vector<Interval> ivs;
+    ivs.reserve(qs.size());
+    SearchStats stats;
+    for (const auto &q : qs)
+        ivs.push_back(table.search(q, &stats));
+    return {ivs, stats};
+}
+
+TEST(BatchSearcher, EmptyBatch)
+{
+    BatchSearcher bs(mtlTable());
+    const BatchResult r = bs.search({});
+    EXPECT_TRUE(r.intervals.empty());
+    EXPECT_EQ(r.queries, 0u);
+    EXPECT_EQ(r.bases, 0u);
+    EXPECT_EQ(r.stats, SearchStats{});
+}
+
+TEST(BatchSearcher, BitIdenticalToSequentialAcrossThreadCounts)
+{
+    const ExmaTable &table = mtlTable();
+    const auto qs = randomQueries(300, 9);
+    const auto [expect_ivs, expect_stats] = sequentialReference(table, qs);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        BatchConfig cfg;
+        cfg.threads = threads;
+        cfg.grain = 7; // deliberately not a divisor of the batch size
+        const BatchResult r = BatchSearcher(table, cfg).search(qs);
+        EXPECT_EQ(r.intervals, expect_ivs) << "threads=" << threads;
+        EXPECT_EQ(r.stats, expect_stats) << "threads=" << threads;
+        EXPECT_EQ(r.queries, qs.size());
+    }
+}
+
+TEST(BatchSearcher, AllOccModesMatchSequential)
+{
+    for (const OccIndexMode mode :
+         {OccIndexMode::Exact, OccIndexMode::NaiveLearned,
+          OccIndexMode::Mtl}) {
+        const ExmaTable table(testRef(), cfgFor(mode));
+        const auto qs = randomQueries(120, 31);
+        const auto [expect_ivs, expect_stats] =
+            sequentialReference(table, qs);
+        BatchConfig cfg;
+        cfg.threads = 8;
+        cfg.grain = 5;
+        const BatchResult r = BatchSearcher(table, cfg).search(qs);
+        EXPECT_EQ(r.intervals, expect_ivs);
+        EXPECT_EQ(r.stats, expect_stats);
+    }
+}
+
+TEST(BatchSearcher, PerThreadStatsMergeToTotal)
+{
+    BatchConfig cfg;
+    cfg.threads = 8;
+    cfg.grain = 3;
+    const auto qs = randomQueries(200, 13);
+    const BatchResult r = BatchSearcher(mtlTable(), cfg).search(qs);
+    SearchStats merged;
+    for (const SearchStats &s : r.per_thread)
+        merged += s;
+    EXPECT_EQ(merged, r.stats);
+    EXPECT_EQ(r.per_thread.size(), parallelForSlots(8));
+}
+
+TEST(BatchSearcher, PerQueryStatsSumToTotal)
+{
+    BatchConfig cfg;
+    cfg.threads = 2;
+    cfg.per_query_stats = true;
+    const auto qs = randomQueries(150, 21);
+    const ExmaTable &table = mtlTable();
+    const BatchResult r = BatchSearcher(table, cfg).search(qs);
+    ASSERT_EQ(r.per_query.size(), qs.size());
+    SearchStats sum;
+    for (const SearchStats &s : r.per_query)
+        sum += s;
+    EXPECT_EQ(sum, r.stats);
+    // And each per-query record equals a lone sequential search.
+    for (size_t i = 0; i < qs.size(); i += 37) {
+        SearchStats lone;
+        table.search(qs[i], &lone);
+        EXPECT_EQ(r.per_query[i], lone) << "i=" << i;
+    }
+}
+
+TEST(BatchSearcher, CountsBases)
+{
+    const auto qs = randomQueries(50, 3);
+    u64 bases = 0;
+    for (const auto &q : qs)
+        bases += q.size();
+    const BatchResult r = BatchSearcher(mtlTable()).search(qs);
+    EXPECT_EQ(r.bases, bases);
+    EXPECT_GE(r.seconds, 0.0);
+}
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace exma {
+namespace {
+
+std::string
+render(const std::function<void(JsonWriter &)> &fn)
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    fn(w);
+    return os.str();
+}
+
+TEST(JsonWriter, EmptyContainers)
+{
+    EXPECT_EQ(render([](JsonWriter &w) { w.beginObject().endObject(); }),
+              "{}");
+    EXPECT_EQ(render([](JsonWriter &w) { w.beginArray().endArray(); }),
+              "[]");
+}
+
+TEST(JsonWriter, ObjectFieldsAreCommaSeparated)
+{
+    const std::string doc = render([](JsonWriter &w) {
+        w.beginObject()
+            .field("a", u64{1})
+            .field("b", "two")
+            .field("c", true)
+            .field("d", 2.5)
+            .endObject();
+    });
+    EXPECT_EQ(doc, "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":2.5}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects)
+{
+    const std::string doc = render([](JsonWriter &w) {
+        w.beginObject().key("rows").beginArray();
+        w.beginObject().field("x", 1).endObject();
+        w.beginObject().field("x", 2).endObject();
+        w.endArray().key("n").value(2).endObject();
+    });
+    EXPECT_EQ(doc, "{\"rows\":[{\"x\":1},{\"x\":2}],\"n\":2}");
+}
+
+TEST(JsonWriter, ArrayOfScalars)
+{
+    const std::string doc = render([](JsonWriter &w) {
+        w.beginArray().value(1).value(2).value("three").nullValue()
+            .endArray();
+    });
+    EXPECT_EQ(doc, "[1,2,\"three\",null]");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::quoted("plain"), "\"plain\"");
+    EXPECT_EQ(JsonWriter::quoted("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(JsonWriter::quoted("back\\slash"), "\"back\\\\slash\"");
+    EXPECT_EQ(JsonWriter::quoted("tab\tnl\n"), "\"tab\\tnl\\n\"");
+    EXPECT_EQ(JsonWriter::quoted(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, NonFiniteNumbersBecomeNull)
+{
+    EXPECT_EQ(JsonWriter::number(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(JsonWriter::number(1.5), "1.5");
+}
+
+TEST(JsonWriter, LargeIntegersStayExact)
+{
+    const u64 big = u64{1} << 60;
+    const std::string doc =
+        render([&](JsonWriter &w) { w.beginArray().value(big).endArray(); });
+    EXPECT_EQ(doc, "[" + std::to_string(big) + "]");
+}
+
+} // namespace
+} // namespace exma

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/search_stats.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 
@@ -105,6 +106,24 @@ TEST(Table, NumAndBytesFormat)
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::bytes(1536.0), "1.54KB");
     EXPECT_EQ(TextTable::bytes(2.5e9), "2.50GB");
+}
+
+TEST(SearchStats, MergeSumsEveryCounter)
+{
+    SearchStats a{1, 2, 3, 4, 5};
+    const SearchStats b{10, 20, 30, 40, 50};
+    a += b;
+    EXPECT_EQ(a, (SearchStats{11, 22, 33, 44, 55}));
+    EXPECT_EQ(a + b, (SearchStats{21, 42, 63, 84, 105}));
+}
+
+TEST(SearchStats, ResetAndMeanError)
+{
+    SearchStats s{4, 0, 16, 0, 0};
+    EXPECT_DOUBLE_EQ(s.meanError(), 2.0); // 16 error over 2*4 lookups
+    s.reset();
+    EXPECT_EQ(s, SearchStats{});
+    EXPECT_DOUBLE_EQ(s.meanError(), 0.0);
 }
 
 } // namespace

@@ -100,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(Modes, ExmaModeTest,
 TEST(ExmaTable, StatsCountIterations)
 {
     ExmaTable tab(testRef(), cfgFor(OccIndexMode::Exact, 6));
-    ExmaTable::SearchStats stats;
+    SearchStats stats;
     std::vector<Base> query(testRef().begin(), testRef().begin() + 20);
     tab.search(query, &stats);
     EXPECT_EQ(stats.kstep_iterations, 20u / 6u);

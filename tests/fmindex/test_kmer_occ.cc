@@ -57,8 +57,9 @@ TEST(KmerOccTable, IncrementsAreSortedAndInRange)
         auto inc = tab.increments(m);
         for (size_t i = 0; i + 1 < inc.size(); ++i)
             ASSERT_LT(inc[i], inc[i + 1]);
-        if (!inc.empty())
+        if (!inc.empty()) {
             ASSERT_LT(inc.back(), tab.rows());
+        }
     }
 }
 
@@ -172,7 +173,7 @@ TEST_P(KStepEquivalenceTest, SearchEqualsOneStepFmIndex)
                 b = static_cast<Base>(rng.below(4));
         }
         const Interval expect = fm.search(q);
-        KStepStats stats;
+        SearchStats stats;
         const Interval got = kfm.search(q, &stats);
         if (expect.empty()) {
             EXPECT_TRUE(got.empty()) << "k=" << k << " t=" << t;
