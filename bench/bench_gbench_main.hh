@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared entry point for the google-benchmark harnesses
+ * (bench_micro_kernels, bench_rank): BENCHMARK_MAIN() with the bench
+ * suite's JSON convention layered on — `--json <path>` / EXMA_BENCH_JSON
+ * map onto Google Benchmark's native JSON reporter (--benchmark_out),
+ * so these harnesses record their figure data the same way the table
+ * harnesses do. Header-only so each harness keeps its own benchmark
+ * link and bench_util stays benchmark-free.
+ */
+
+#ifndef EXMA_BENCH_BENCH_GBENCH_MAIN_HH
+#define EXMA_BENCH_BENCH_GBENCH_MAIN_HH
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+
+namespace exma {
+namespace bench {
+
+inline int
+googleBenchmarkMain(int argc, char **argv)
+{
+    const std::string json_path = jsonDestination(argc, argv);
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag, fmt_flag;
+    if (!json_path.empty()) {
+        out_flag = "--benchmark_out=" + json_path;
+        fmt_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace bench
+} // namespace exma
+
+#endif // EXMA_BENCH_BENCH_GBENCH_MAIN_HH

@@ -8,10 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
-#include <string>
 #include <vector>
 
-#include "bench_util.hh"
+#include "bench_gbench_main.hh"
 #include "common/rng.hh"
 #include "compress/bdi.hh"
 #include "compress/chain.hh"
@@ -130,29 +129,8 @@ BENCHMARK(BM_BdiCompress);
 
 } // namespace
 
-/**
- * BENCHMARK_MAIN() with the bench-suite JSON convention layered on:
- * `--json <path>` / EXMA_BENCH_JSON map onto Google Benchmark's native
- * JSON reporter (--benchmark_out), so this harness records its figure
- * data the same way the table harnesses do.
- */
 int
 main(int argc, char **argv)
 {
-    const std::string json_path = exma::bench::jsonDestination(argc, argv);
-    std::vector<char *> args(argv, argv + argc);
-    std::string out_flag, fmt_flag;
-    if (!json_path.empty()) {
-        out_flag = "--benchmark_out=" + json_path;
-        fmt_flag = "--benchmark_out_format=json";
-        args.push_back(out_flag.data());
-        args.push_back(fmt_flag.data());
-    }
-    int n = static_cast<int>(args.size());
-    benchmark::Initialize(&n, args.data());
-    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return exma::bench::googleBenchmarkMain(argc, argv);
 }

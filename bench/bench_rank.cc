@@ -1,0 +1,188 @@
+/**
+ * @file
+ * google-benchmark microkernels for the PR 3 rank machinery: the old
+ * byte-per-symbol checkpoint+scan Occ versus the packed interleaved
+ * PackedRank, and branchy std::lower_bound versus the shared branchless
+ * helper on increment-list-shaped inputs. Emits JSON via the bench
+ * suite's `--json` convention (see bench_gbench_main.hh).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_gbench_main.hh"
+#include "common/branchless.hh"
+#include "common/rng.hh"
+#include "fmindex/packed_rank.hh"
+#include "fmindex/suffix_array.hh"
+#include "genome/reference.hh"
+
+namespace {
+
+using namespace exma;
+
+/** BWT (0..4 coding) of a 1 Mbp synthetic reference. */
+const std::vector<u8> &
+microBwt()
+{
+    static const std::vector<u8> bwt = [] {
+        ReferenceSpec spec;
+        spec.length = 1 << 20;
+        spec.seed = 3;
+        const std::vector<Base> ref = generateReference(spec);
+        const std::vector<SaIndex> sa = buildSuffixArray(ref);
+        std::vector<u8> out(sa.size());
+        for (u64 i = 0; i < sa.size(); ++i)
+            out[i] = sa[i] == 0 ? u8{0}
+                                : static_cast<u8>(ref[sa[i] - 1] + 1);
+        return out;
+    }();
+    return bwt;
+}
+
+/**
+ * The pre-PR 3 FmIndex rank layout: byte-per-symbol BWT plus a separate
+ * checkpoint array every 64 positions, scanned to the queried offset.
+ */
+struct ScalarRank
+{
+    static constexpr u32 kSample = 64;
+
+    explicit ScalarRank(const std::vector<u8> &bwt)
+        : bwt_(bwt)
+    {
+        const u64 n_buckets = (bwt.size() + kSample - 1) / kSample;
+        ckpt_.assign((n_buckets + 1) * 4, 0);
+        u32 running[4] = {};
+        for (u64 i = 0; i < bwt.size(); ++i) {
+            if (i % kSample == 0)
+                for (int c = 0; c < 4; ++c)
+                    ckpt_[(i / kSample) * 4 + static_cast<u64>(c)] =
+                        running[c];
+            if (bwt[i] != 0)
+                ++running[bwt[i] - 1];
+        }
+        for (int c = 0; c < 4; ++c)
+            ckpt_[n_buckets * 4 + static_cast<u64>(c)] = running[c];
+    }
+
+    u64
+    occ(u8 sym, u64 i) const
+    {
+        const u64 bucket = i / kSample;
+        u64 r = ckpt_[bucket * 4 + (sym - 1)];
+        for (u64 j = bucket * kSample; j < i; ++j)
+            r += (bwt_[j] == sym);
+        return r;
+    }
+
+    const std::vector<u8> &bwt_;
+    std::vector<u32> ckpt_;
+};
+
+std::vector<std::pair<u8, u64>>
+rankQueries(u64 n_rows, u64 count)
+{
+    Rng rng(17);
+    std::vector<std::pair<u8, u64>> q(count);
+    for (auto &p : q) {
+        p.first = static_cast<u8>(1 + rng.below(4));
+        p.second = rng.below(n_rows + 1);
+    }
+    return q;
+}
+
+void
+BM_ScalarRankOcc(benchmark::State &state)
+{
+    const ScalarRank rank(microBwt());
+    const auto queries = rankQueries(microBwt().size(), 4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[sym, pos] = queries[i++ % queries.size()];
+        benchmark::DoNotOptimize(rank.occ(sym, pos));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalarRankOcc);
+
+void
+BM_PackedRankOcc(benchmark::State &state)
+{
+    const PackedRank rank{std::span<const u8>(microBwt())};
+    const auto queries = rankQueries(rank.size(), 4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[sym, pos] = queries[i++ % queries.size()];
+        benchmark::DoNotOptimize(rank.occ(sym, pos));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedRankOcc);
+
+/** Sorted u32 lists shaped like k-mer increment lists. */
+std::vector<u32>
+sortedList(u64 size, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> v(size);
+    u32 cur = 0;
+    for (auto &x : v)
+        x = (cur += 1 + static_cast<u32>(rng.below(97)));
+    return v;
+}
+
+void
+BM_BranchyLowerBound(benchmark::State &state)
+{
+    const auto list = sortedList(static_cast<u64>(state.range(0)), 23);
+    const u32 top = list.empty() ? 1 : list.back() + 1;
+    Rng rng(29);
+    std::vector<u32> keys(4096);
+    for (auto &k : keys)
+        k = static_cast<u32>(rng.below(top));
+    size_t i = 0;
+    for (auto _ : state) {
+        const u32 key = keys[i++ % keys.size()];
+        benchmark::DoNotOptimize(
+            std::lower_bound(list.begin(), list.end(), key) -
+            list.begin());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchyLowerBound)->Arg(4)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void
+BM_BranchlessLowerBound(benchmark::State &state)
+{
+    const auto list = sortedList(static_cast<u64>(state.range(0)), 23);
+    const u32 top = list.empty() ? 1 : list.back() + 1;
+    Rng rng(29);
+    std::vector<u32> keys(4096);
+    for (auto &k : keys)
+        k = static_cast<u32>(rng.below(top));
+    size_t i = 0;
+    for (auto _ : state) {
+        const u32 key = keys[i++ % keys.size()];
+        benchmark::DoNotOptimize(
+            branchlessLowerBound(list.data(), list.data() + list.size(),
+                                 key) -
+            list.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchlessLowerBound)
+    ->Arg(4)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(1 << 16);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return exma::bench::googleBenchmarkMain(argc, argv);
+}

@@ -7,7 +7,9 @@
 #include <map>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "fmindex/suffix_array.hh"
+#include "genome/fasta.hh"
 
 namespace exma {
 namespace bench {
@@ -199,13 +201,60 @@ scale()
     return s;
 }
 
+namespace {
+
+/**
+ * Real-genome mode (ROADMAP "Real-genome FASTA workloads"): when
+ * EXMA_REF_FASTA points at a FASTA file, every named dataset swaps the
+ * synthetic reference for the file's records (concatenated), with the
+ * k values rescaled to the file's actual size. Parsed per cached
+ * dataset so exactly one copy of the sequence lives per name a harness
+ * actually requests (no extra process-lifetime copy). Returns an empty
+ * vector when the variable is unset, i.e. the synthetic fallback
+ * applies.
+ */
+std::vector<Base>
+loadFastaReference()
+{
+    std::vector<Base> out;
+    const char *path = std::getenv("EXMA_REF_FASTA");
+    if (!path || !*path)
+        return out;
+    const auto records = readFastaFile(path);
+    if (records.empty())
+        exma_fatal("EXMA_REF_FASTA=%s holds no FASTA records", path);
+    size_t total = 0;
+    for (const auto &rec : records)
+        total += rec.seq.size();
+    out.reserve(total);
+    for (const auto &rec : records)
+        out.insert(out.end(), rec.seq.begin(), rec.seq.end());
+    static bool announced = false;
+    if (!announced) {
+        announced = true;
+        exma_inform("EXMA_REF_FASTA: %s (%zu records, %zu bases) replaces "
+                    "the synthetic references",
+                    path, records.size(), out.size());
+    }
+    return out;
+}
+
+} // namespace
+
 const Dataset &
 dataset(const std::string &name)
 {
     static std::map<std::string, Dataset> cache;
     auto it = cache.find(name);
-    if (it == cache.end())
-        it = cache.emplace(name, makeDataset(name, scale())).first;
+    if (it == cache.end()) {
+        std::vector<Base> fa = loadFastaReference();
+        if (!fa.empty())
+            it = cache.emplace(name, makeDatasetFromRef(name,
+                                                        std::move(fa)))
+                     .first;
+        else
+            it = cache.emplace(name, makeDataset(name, scale())).first;
+    }
     return it->second;
 }
 

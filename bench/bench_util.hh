@@ -50,7 +50,12 @@ void init(int &argc, char **argv);
  */
 std::string jsonDestination(int &argc, char **argv);
 
-/** Scaled dataset (cached per process). */
+/**
+ * Scaled dataset (cached per process). When EXMA_REF_FASTA names a
+ * FASTA file, its concatenated records replace the synthetic reference
+ * for every dataset name (k values rescaled to the real size);
+ * otherwise the synthetic generator runs at scale().
+ */
 const Dataset &dataset(const std::string &name);
 
 /** Print a figure banner (and open a figure section in the report). */

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace exma {
@@ -30,10 +31,12 @@ class BitVector
     /** Set bit @p i to 1. Invalidates rank checkpoints until build(). */
     void set(u64 i);
 
-    /** Read bit @p i. */
+    /** Read bit @p i. Bounds-checked in Debug builds only (hot path). */
     bool
     get(u64 i) const
     {
+        exma_dassert(i < n_bits_, "bit index %llu out of range %llu",
+                     (unsigned long long)i, (unsigned long long)n_bits_);
         return (words_[i >> 6] >> (i & 63)) & 1;
     }
 

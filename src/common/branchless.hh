@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Branchless search primitives for the rank/Occ hot paths.
+ *
+ * Every k-step iteration of an EXMA search resolves two Occ lookups by
+ * rank-searching a sorted increment list. `std::lower_bound` spends one
+ * hard-to-predict branch per probe (the comparison outcome is
+ * essentially a coin flip on random queries), so each lookup eats
+ * several mispredicts on top of its cache misses. The helpers here are
+ * the shared replacement for every increment-list search site:
+ *
+ *  - branchlessLowerBound(): the classic monotone-bound binary search
+ *    expressed so the comparison compiles to a conditional move, with
+ *    software prefetch of both possible next probes;
+ *  - probeCount(): integer probe accounting, bit-exact with the old
+ *    per-lookup `ceil(log2(n + 1))` floating-point formula.
+ */
+
+#ifndef EXMA_COMMON_BRANCHLESS_HH
+#define EXMA_COMMON_BRANCHLESS_HH
+
+#include <bit>
+#include <cstddef>
+#include <span>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/**
+ * First position in the sorted range [first, last) whose value is >= @p
+ * key — identical result (leftmost match) to std::lower_bound, but the
+ * halving step is a conditional move rather than a branch, and the two
+ * candidate next probes are prefetched while the current one resolves.
+ */
+inline const u32 *
+branchlessLowerBound(const u32 *first, const u32 *last, u32 key)
+{
+    size_t n = static_cast<size_t>(last - first);
+    if (n == 0)
+        return first;
+    const u32 *base = first;
+    while (n > 1) {
+        const size_t half = n / 2;
+#if defined(__GNUC__) || defined(__clang__)
+        __builtin_prefetch(base + half / 2);
+        __builtin_prefetch(base + half + half / 2);
+#endif
+        base = base[half] < key ? base + half : base; // cmov
+        n -= half;
+    }
+    return base + (*base < key);
+}
+
+/** Rank of @p key in a sorted list: lower-bound position as a count. */
+inline u64
+lowerBoundRank(std::span<const u32> sorted, u32 key)
+{
+    return static_cast<u64>(
+        branchlessLowerBound(sorted.data(), sorted.data() + sorted.size(),
+                             key) -
+        sorted.data());
+}
+
+/**
+ * Worst-case probe count of a binary search over @p n entries:
+ * bit_width(n) == ceil(log2(n + 1)), computed without touching the FPU.
+ * (Equality: for 2^(b-1) <= n < 2^b both sides are b; for n == 0 both
+ * are 0.) This is the instrumented `probes` figure charged to every
+ * non-modelled Occ lookup.
+ */
+inline u64
+probeCount(u64 n)
+{
+    return static_cast<u64>(std::bit_width(n));
+}
+
+} // namespace exma
+
+#endif // EXMA_COMMON_BRANCHLESS_HH

@@ -62,6 +62,21 @@ void informImpl(const std::string &m);
         } \
     } while (0)
 
+/**
+ * Debug-only assert for per-symbol/per-lookup hot paths (Occ
+ * resolution, BWT access, bit-vector reads): identical to exma_assert
+ * in Debug builds (including the ASan/TSan CI jobs), compiled out —
+ * condition unevaluated — under NDEBUG. Construction-time and
+ * user-input checks must keep using exma_assert / exma_fatal.
+ */
+#ifdef NDEBUG
+#define exma_dassert(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define exma_dassert(cond, ...) exma_assert(cond, __VA_ARGS__)
+#endif
+
 } // namespace exma
 
 #endif // EXMA_COMMON_LOGGING_HH

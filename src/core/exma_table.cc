@@ -1,8 +1,6 @@
 #include "core/exma_table.hh"
 
-#include <algorithm>
-#include <cmath>
-
+#include "common/branchless.hh"
 #include "common/logging.hh"
 #include "compress/chain.hh"
 #include "fmindex/suffix_array.hh"
@@ -36,12 +34,8 @@ ExmaTable::occ(Kmer code, u64 pos) const
         return naive_->occ(code, pos);
     IndexLookup out;
     auto inc = occ_->increments(code);
-    out.rank = static_cast<u64>(
-        std::lower_bound(inc.begin(), inc.end(), static_cast<u32>(pos)) -
-        inc.begin());
-    out.probes = inc.empty() ? 0
-                             : static_cast<u64>(std::ceil(std::log2(
-                                   static_cast<double>(inc.size()) + 1)));
+    out.rank = lowerBoundRank(inc, static_cast<u32>(pos));
+    out.probes = probeCount(inc.size());
     return out;
 }
 

@@ -37,40 +37,20 @@ FmIndex::build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
                 "sampling strides must be positive");
 
     // BWT: symbol preceding each suffix; the sentinel precedes suffix 0.
-    bwt_.resize(n_rows_);
+    // Materialised briefly in byte form, then packed into the 2-bit
+    // interleaved-checkpoint rank blocks (the byte copy is dropped).
+    std::vector<u8> bwt(n_rows_);
     for (u64 i = 0; i < n_rows_; ++i) {
         const u64 pos = sa[i];
-        if (pos == 0) {
-            bwt_[i] = 0;
-            primary_ = i;
-        } else {
-            bwt_[i] = static_cast<u8>(ref[pos - 1] + 1);
-        }
+        bwt[i] = pos == 0 ? u8{0} : static_cast<u8>(ref[pos - 1] + 1);
     }
+    rank_ = PackedRank(bwt);
 
     // Symbol totals -> Count array (cumulative over $,A,C,G,T).
-    u64 totals[kBwtAlphabet] = {};
-    for (u8 sym : bwt_)
-        ++totals[sym];
     count_[0] = 0;
     for (int c = 1; c <= kBwtAlphabet; ++c)
-        count_[c] = count_[c - 1] + totals[c - 1];
-
-    // Occ checkpoints, one u32 per DNA symbol per bucket.
-    const u64 n_buckets = (n_rows_ + cfg_.occ_sample - 1) / cfg_.occ_sample;
-    occ_ckpt_.assign((n_buckets + 1) * 4, 0);
-    u32 running[4] = {};
-    for (u64 i = 0; i < n_rows_; ++i) {
-        if (i % cfg_.occ_sample == 0) {
-            const u64 b = i / cfg_.occ_sample;
-            for (int c = 0; c < 4; ++c)
-                occ_ckpt_[b * 4 + static_cast<u64>(c)] = running[c];
-        }
-        if (bwt_[i] != 0)
-            ++running[bwt_[i] - 1];
-    }
-    for (int c = 0; c < 4; ++c)
-        occ_ckpt_[n_buckets * 4 + static_cast<u64>(c)] = running[c];
+        count_[c] = count_[c - 1] + rank_.occ(static_cast<u8>(c - 1),
+                                              n_rows_);
 
     // Text-position-sampled SA: mark rows whose SA value is a multiple
     // of sa_sample so every LF-walk terminates within sa_sample steps.
@@ -85,19 +65,6 @@ FmIndex::build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
     sa_values_.resize(marks.size());
     for (const auto &[row, val] : marks)
         sa_values_[sa_sampled_.rank1(row)] = val;
-}
-
-u64
-FmIndex::occ(u8 sym, u64 i) const
-{
-    exma_assert(i <= n_rows_, "occ position out of range");
-    if (sym == 0)
-        return i > primary_ ? 1 : 0;
-    const u64 bucket = i / cfg_.occ_sample;
-    u64 r = occ_ckpt_[bucket * 4 + (sym - 1)];
-    for (u64 j = bucket * cfg_.occ_sample; j < i; ++j)
-        r += (bwt_[j] == sym);
-    return r;
 }
 
 Interval
@@ -124,17 +91,10 @@ FmIndex::search(const std::vector<Base> &query, SearchTrace *trace) const
     return iv;
 }
 
-u8
-FmIndex::bwtAt(u64 row) const
-{
-    exma_assert(row < n_rows_, "row out of range");
-    return bwt_[row];
-}
-
 u64
 FmIndex::lf(u64 row) const
 {
-    const u8 sym = bwt_[row];
+    const u8 sym = rank_.symAt(row);
     return count_[sym] + occ(sym, row);
 }
 
@@ -161,8 +121,8 @@ FmIndex::locateAll(const Interval &iv, u64 limit) const
 u64
 FmIndex::sizeBytes() const
 {
-    return bwt_.size() + occ_ckpt_.size() * 4 + sizeof(count_) +
-           sa_sampled_.sizeBytes() + sa_values_.size() * 4;
+    return rank_.sizeBytes() + sizeof(count_) + sa_sampled_.sizeBytes() +
+           sa_values_.size() * 4;
 }
 
 } // namespace exma

@@ -17,6 +17,7 @@
 #include "common/bitvector.hh"
 #include "common/dna.hh"
 #include "common/types.hh"
+#include "fmindex/packed_rank.hh"
 #include "fmindex/suffix_array.hh"
 
 namespace exma {
@@ -47,8 +48,13 @@ class FmIndex
   public:
     struct Config
     {
-        u32 occ_sample = 64; ///< BWT positions per Occ checkpoint bucket
-        u32 sa_sample = 32;  ///< text-position stride of SA samples
+        /**
+         * Occ-bucket granularity of the SearchTrace rows (Fig. 6a).
+         * Rank itself now always resolves in PackedRank's fixed
+         * 64-symbol blocks regardless of this value.
+         */
+        u32 occ_sample = 64;
+        u32 sa_sample = 32; ///< text-position stride of SA samples
     };
 
     /** Build from a DNA reference (0..3 codes). */
@@ -72,8 +78,11 @@ class FmIndex
     /** Count(s): number of BWT symbols lexicographically below @p sym. */
     u64 count(u8 sym) const { return count_[sym]; }
 
-    /** Occ(s, i): occurrences of @p sym in BWT[0, i). sym is 0..4. */
-    u64 occ(u8 sym, u64 i) const;
+    /**
+     * Occ(s, i): occurrences of @p sym in BWT[0, i). sym is 0..4.
+     * One 32-byte packed-rank block per resolution (see packed_rank.hh).
+     */
+    u64 occ(u8 sym, u64 i) const { return rank_.occ(sym, i); }
 
     /** One backward-search step: prepend base @p c (0..3) to the match. */
     Interval extend(const Interval &iv, Base c) const;
@@ -83,7 +92,7 @@ class FmIndex
                     SearchTrace *trace = nullptr) const;
 
     /** BWT symbol at row (0..4). */
-    u8 bwtAt(u64 row) const;
+    u8 bwtAt(u64 row) const { return rank_.symAt(row); }
 
     /** LF mapping: row of the suffix one position earlier in the text. */
     u64 lf(u64 row) const;
@@ -104,9 +113,7 @@ class FmIndex
 
     Config cfg_;
     u64 n_rows_ = 0;
-    u64 primary_ = 0;            ///< row whose BWT symbol is the sentinel
-    std::vector<u8> bwt_;        ///< 0..4 per row ($ stored as 0)
-    std::vector<u32> occ_ckpt_;  ///< 4 checkpoints (A..T) per bucket
+    PackedRank rank_; ///< 2-bit BWT + interleaved Occ checkpoints
     u64 count_[kBwtAlphabet + 1] = {};
     BitVector sa_sampled_;       ///< rows with a sampled SA value
     std::vector<u32> sa_values_; ///< sampled values, rank-indexed

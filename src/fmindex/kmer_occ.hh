@@ -33,12 +33,21 @@ class KmerOccTable
     /**
      * Build from @p ref and its suffix array (of ref·$).
      * @param k number of DNA symbols per window (the "step").
+     * @param build_threads construction parallelism: 0 picks the
+     *        automatic policy (pool-parallel chunked build for big
+     *        references, serial otherwise), 1 forces serial, >= 2
+     *        requests the chunked parallel build at that width (the
+     *        width is still clamped — with a warning — when the
+     *        per-chunk 4^k histograms would blow the memory budget,
+     *        i.e. for very large k). The resulting table is identical
+     *        in every case.
      */
     KmerOccTable(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
-                 int k);
+                 int k, unsigned build_threads = 0);
 
     /** Convenience constructor that builds its own suffix array. */
-    KmerOccTable(const std::vector<Base> &ref, int k);
+    KmerOccTable(const std::vector<Base> &ref, int k,
+                 unsigned build_threads = 0);
 
     int k() const { return k_; }
 
@@ -89,7 +98,8 @@ class KmerOccTable
     u64 sizeBytes() const;
 
   private:
-    void build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa);
+    void build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
+               unsigned build_threads);
 
     int k_;
     u64 n_rows_ = 0;
@@ -98,6 +108,13 @@ class KmerOccTable
     std::vector<u32> rows_;   ///< concatenated sorted increment rows
     /** Sentinel-containing windows: (base-5 code, row), sorted by code. */
     std::vector<std::pair<u64, u32>> sentinel_windows_;
+    /**
+     * Per sentinel window: the smallest pure k-mer code sorting above
+     * it (4^k if none), ascending. countBefore() counts `t <= code`
+     * over this tiny array instead of re-deriving the query's base-5
+     * code on every k-step iteration.
+     */
+    std::vector<u64> sentinel_thresholds_;
 };
 
 } // namespace exma

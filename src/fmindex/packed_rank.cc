@@ -1,0 +1,42 @@
+#include "fmindex/packed_rank.hh"
+
+namespace exma {
+
+PackedRank::PackedRank(std::span<const u8> bwt)
+    : n_(bwt.size())
+{
+    // One trailing block so occ(sym, n_) resolves like any other
+    // position; its padding lanes are never covered by a lane mask.
+    blocks_.assign((n_ >> 6) + 1, Block{});
+    u32 running[4] = {};
+    for (u64 i = 0; i < n_; ++i) {
+        Block &b = blocks_[i >> 6];
+        const unsigned j = i & 63;
+        if (j == 0)
+            for (int c = 0; c < 4; ++c)
+                b.ckpt[c] = running[c];
+        const u8 sym = bwt[i];
+        exma_assert(sym <= 4, "BWT symbol %u at row %llu out of range",
+                    sym, (unsigned long long)i);
+        u64 code;
+        if (sym == 0) {
+            exma_assert(primary_ == ~u64{0},
+                        "more than one sentinel in BWT (rows %llu, %llu)",
+                        (unsigned long long)primary_,
+                        (unsigned long long)i);
+            primary_ = i;
+            code = 0; // phantom 'A'; occ() subtracts it back out
+        } else {
+            code = sym - 1u;
+        }
+        b.data[j >> 5] |= code << (2 * (j & 31));
+        ++running[code];
+    }
+    // When n_ is a block multiple the trailing block saw no j == 0
+    // store above; its checkpoints serve occ(sym, n_).
+    if ((n_ & 63) == 0)
+        for (int c = 0; c < 4; ++c)
+            blocks_[n_ >> 6].ckpt[c] = running[c];
+}
+
+} // namespace exma

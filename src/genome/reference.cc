@@ -145,6 +145,25 @@ makeDataset(const std::string &name, double scale)
     return ds;
 }
 
+Dataset
+makeDatasetFromRef(const std::string &name, std::vector<Base> ref)
+{
+    const DatasetInfo *info = findDataset(name);
+    if (!info)
+        exma_fatal("unknown dataset '%s'", name.c_str());
+    if (ref.size() < 64)
+        exma_fatal("supplied reference too short (%zu bases, need >= 64)",
+                   ref.size());
+
+    Dataset ds;
+    ds.name = name;
+    ds.paper_length = info->paper_len;
+    ds.exma_k = scaledStep(ref.size(), info->paper_len, 15);
+    ds.lisa_k = scaledStep(ref.size(), info->paper_len, 21);
+    ds.ref = std::move(ref);
+    return ds;
+}
+
 const std::vector<std::string> &
 datasetNames()
 {

@@ -61,6 +61,17 @@ struct Dataset
  */
 Dataset makeDataset(const std::string &name, double scale = 1.0);
 
+/**
+ * Build a dataset around an externally supplied reference (e.g. parsed
+ * from a real FASTA file) instead of the synthetic generator, keeping
+ * the named dataset's paper bookkeeping: paper_length, and k values
+ * scaled to the supplied reference's actual size.
+ *
+ * @param name  "human", "picea" or "pinus" (for the paper-side numbers).
+ * @param ref   the reference sequence; must hold at least 64 bases.
+ */
+Dataset makeDatasetFromRef(const std::string &name, std::vector<Base> ref);
+
 /** All three dataset names in paper order. */
 const std::vector<std::string> &datasetNames();
 

@@ -1,8 +1,8 @@
 #include "learned/mtl_index.hh"
 
 #include <algorithm>
-#include <cmath>
 
+#include "common/branchless.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "learned/rmi.hh" // LeafMoments
@@ -155,18 +155,18 @@ MtlIndex::occ(Kmer code, u64 pos) const
 {
     IndexLookup out;
     auto inc = tab_.increments(code);
-    auto it = kmers_.find(code);
-    if (it == kmers_.end()) {
-        out.rank = static_cast<u64>(
-            std::lower_bound(inc.begin(), inc.end(),
-                             static_cast<u32>(pos)) -
-            inc.begin());
-        out.probes = inc.empty()
-                         ? 0
-                         : static_cast<u64>(std::ceil(std::log2(
-                               static_cast<double>(inc.size()) + 1)));
+    // Only k-mers with more than min_increments occurrences were
+    // modelled (constructor pass 1), so the common small-list case —
+    // the vast majority of lookups on a genomic k-mer distribution —
+    // resolves without ever touching the model hash map.
+    if (inc.size() <= cfg_.min_increments) {
+        out.rank = lowerBoundRank(inc, static_cast<u32>(pos));
+        out.probes = probeCount(inc.size());
         return out;
     }
+    const auto it = kmers_.find(code);
+    exma_dassert(it != kmers_.end(),
+                 "k-mer above the modelling threshold has no model");
 
     const KmerLeaves &kl = it->second;
     const double x0 = static_cast<double>(code) * inv_kmer_space_;

@@ -1,6 +1,6 @@
 #include "learned/naive_kmer_index.hh"
 
-#include <algorithm>
+#include "common/branchless.hh"
 
 namespace exma {
 
@@ -29,24 +29,19 @@ IndexLookup
 NaiveKmerIndex::occ(Kmer code, u64 pos) const
 {
     IndexLookup out;
-    auto it = models_.find(code);
-    if (it != models_.end()) {
-        RmiResult r = it->second.lookup(static_cast<u32>(pos));
-        out.rank = r.rank;
-        out.error = r.error;
-        out.probes = r.probes;
-        out.used_model = true;
+    // Modelled iff f > min_increments (constructor), so the short-list
+    // majority skips the hash lookup and binary-searches branchlessly.
+    auto inc = tab_.increments(code);
+    if (inc.size() <= cfg_.min_increments) {
+        out.rank = lowerBoundRank(inc, static_cast<u32>(pos));
+        out.probes = probeCount(inc.size());
         return out;
     }
-    // Binary search over the (short) increment list.
-    auto inc = tab_.increments(code);
-    const u64 rank = static_cast<u64>(
-        std::lower_bound(inc.begin(), inc.end(), static_cast<u32>(pos)) -
-        inc.begin());
-    out.rank = rank;
-    out.probes = inc.empty() ? 0
-                             : static_cast<u64>(std::ceil(std::log2(
-                                   static_cast<double>(inc.size()) + 1)));
+    RmiResult r = models_.at(code).lookup(static_cast<u32>(pos));
+    out.rank = r.rank;
+    out.error = r.error;
+    out.probes = r.probes;
+    out.used_model = true;
     return out;
 }
 

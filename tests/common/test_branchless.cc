@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/branchless.hh"
+#include "common/rng.hh"
+
+namespace exma {
+namespace {
+
+/** The helper must return the exact std::lower_bound position
+ *  (leftmost >= key) for every key in and around the list. */
+void
+expectMatchesStd(const std::vector<u32> &v)
+{
+    std::vector<u32> keys{0, 1, ~u32{0}};
+    for (u32 x : v) {
+        keys.push_back(x);
+        if (x > 0)
+            keys.push_back(x - 1);
+        keys.push_back(x + 1);
+    }
+    for (u32 key : keys) {
+        const u32 *expect =
+            std::lower_bound(v.data(), v.data() + v.size(), key);
+        const u32 *got =
+            branchlessLowerBound(v.data(), v.data() + v.size(), key);
+        ASSERT_EQ(got, expect)
+            << "n=" << v.size() << " key=" << key;
+    }
+}
+
+TEST(BranchlessLowerBound, EmptyRange)
+{
+    const std::vector<u32> v;
+    EXPECT_EQ(branchlessLowerBound(v.data(), v.data(), 42), v.data());
+}
+
+TEST(BranchlessLowerBound, SingleElement)
+{
+    expectMatchesStd({5});
+}
+
+TEST(BranchlessLowerBound, AllEqual)
+{
+    // Duplicates: must still return the *leftmost* >= key position.
+    for (size_t n : {1u, 2u, 7u, 8u, 64u, 255u})
+        expectMatchesStd(std::vector<u32>(n, 9));
+}
+
+TEST(BranchlessLowerBound, PowerOfTwoAndNeighbourSizes)
+{
+    Rng rng(3);
+    for (size_t pow : {1u, 2u, 3u, 4u, 6u, 10u, 12u}) {
+        const size_t mid = size_t{1} << pow;
+        for (size_t n : {mid - 1, mid, mid + 1}) {
+            std::vector<u32> v(n);
+            u32 cur = 0;
+            for (auto &x : v) {
+                x = cur; // ~50% duplicates
+                cur += static_cast<u32>(rng.below(2));
+            }
+            expectMatchesStd(v);
+        }
+    }
+}
+
+TEST(BranchlessLowerBound, RandomStrictlyIncreasing)
+{
+    Rng rng(5);
+    for (int t = 0; t < 20; ++t) {
+        std::vector<u32> v(1 + rng.below(600));
+        u32 cur = 0;
+        for (auto &x : v)
+            x = (cur += 1 + static_cast<u32>(rng.below(50)));
+        expectMatchesStd(v);
+    }
+}
+
+TEST(ProbeCount, EqualsCeilLog2Formula)
+{
+    // probeCount must reproduce the historical floating-point probe
+    // accounting bit for bit, so SearchStats stay comparable across
+    // the rank-machinery change.
+    auto old_formula = [](u64 n) {
+        return n == 0 ? u64{0}
+                      : static_cast<u64>(std::ceil(
+                            std::log2(static_cast<double>(n) + 1)));
+    };
+    for (u64 n = 0; n < 70000; ++n)
+        ASSERT_EQ(probeCount(n), old_formula(n)) << "n=" << n;
+    for (u64 pow = 17; pow < 32; ++pow)
+        for (u64 n : {(u64{1} << pow) - 1, u64{1} << pow,
+                      (u64{1} << pow) + 1})
+            ASSERT_EQ(probeCount(n), old_formula(n)) << "n=" << n;
+}
+
+TEST(LowerBoundRank, SpanConvenienceMatches)
+{
+    const std::vector<u32> v{2, 4, 4, 8, 100};
+    const std::span<const u32> s(v);
+    EXPECT_EQ(lowerBoundRank(s, 0), 0u);
+    EXPECT_EQ(lowerBoundRank(s, 4), 1u);
+    EXPECT_EQ(lowerBoundRank(s, 5), 3u);
+    EXPECT_EQ(lowerBoundRank(s, 101), 5u);
+}
+
+} // namespace
+} // namespace exma

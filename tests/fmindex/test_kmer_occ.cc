@@ -144,6 +144,57 @@ TEST(KmerOccTable, DistinctKmersCounted)
     EXPECT_GT(tab.frequency(0), 0u);
 }
 
+/**
+ * The chunked pool-parallel construction must produce a table
+ * bit-identical to the serial build at any width. (Named so the TSan
+ * CI job's -R filter picks these suites up.)
+ */
+class KmerOccParallelBuildTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(KmerOccParallelBuildTest, MatchesSerialBuild)
+{
+    const unsigned threads = GetParam();
+    auto ref = randomSeq(30000, 77);
+    auto sa = buildSuffixArray(ref);
+    for (int k : {2, 6}) {
+        const KmerOccTable serial(ref, sa, k, 1);
+        const KmerOccTable parallel(ref, sa, k, threads);
+        EXPECT_EQ(parallel.baseArray(), serial.baseArray())
+            << "k=" << k << " threads=" << threads;
+        EXPECT_EQ(parallel.allIncrements(), serial.allIncrements())
+            << "k=" << k << " threads=" << threads;
+        EXPECT_EQ(parallel.distinctKmers(), serial.distinctKmers());
+        Rng rng(78);
+        for (int t = 0; t < 200; ++t) {
+            std::vector<Base> q(static_cast<size_t>(k));
+            for (auto &b : q)
+                b = static_cast<Base>(rng.below(4));
+            const Kmer code = packKmer(q.data(), k);
+            const u64 row = rng.below(serial.rows() + 1);
+            ASSERT_EQ(parallel.occ(code, row), serial.occ(code, row));
+            ASSERT_EQ(parallel.countBefore(code),
+                      serial.countBefore(code));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KmerOccParallelBuildTest,
+                         ::testing::Values(2u, 3u, 8u));
+
+TEST(KmerOccParallelBuild, AutoPolicyMatchesSerialAboveThreshold)
+{
+    // 70000 rows crosses the automatic-parallelism threshold; the
+    // default-built table must still equal the forced-serial one.
+    auto ref = randomSeq(70000, 79);
+    auto sa = buildSuffixArray(ref);
+    const KmerOccTable serial(ref, sa, 5, 1);
+    const KmerOccTable automatic(ref, sa, 5);
+    EXPECT_EQ(automatic.baseArray(), serial.baseArray());
+    EXPECT_EQ(automatic.allIncrements(), serial.allIncrements());
+}
+
 class KStepEquivalenceTest : public ::testing::TestWithParam<int>
 {
 };

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 #include "genome/fasta.hh"
 #include "genome/reference.hh"
@@ -101,6 +103,50 @@ TEST(Dataset, SizesOrderedLikePaper)
     auto pinus = makeDataset("pinus", 0.01);
     EXPECT_LT(human.ref.size(), picea.ref.size());
     EXPECT_LT(picea.ref.size(), pinus.ref.size());
+}
+
+TEST(Dataset, FromSuppliedRefKeepsPaperBookkeeping)
+{
+    // The EXMA_REF_FASTA bench path: a real (here: generated) sequence
+    // replaces the synthetic reference while the paper-side numbers and
+    // the k rescaling still come from the named dataset.
+    ReferenceSpec spec;
+    spec.length = 8u << 20; // the DESIGN.md default human scale
+    auto seq = generateReference(spec);
+    const auto expect_k = scaledStep(seq.size(), 3000000000ULL, 15);
+    const auto expect_lisa = scaledStep(seq.size(), 3000000000ULL, 21);
+    auto copy = seq;
+    auto ds = makeDatasetFromRef("human", std::move(copy));
+    EXPECT_EQ(ds.name, "human");
+    EXPECT_EQ(ds.ref, seq);
+    EXPECT_EQ(ds.paper_length, 3000000000ULL);
+    EXPECT_EQ(ds.exma_k, expect_k);
+    EXPECT_EQ(ds.lisa_k, expect_lisa);
+}
+
+TEST(Dataset, FromFastaFileRecordsConcatenate)
+{
+    // End-to-end shape of the bench wiring: write a multi-record FASTA,
+    // read it back, concatenate, and build the dataset around it.
+    const std::string path = ::testing::TempDir() + "exma_ref_test.fa";
+    std::vector<FastaRecord> recs;
+    ReferenceSpec spec;
+    spec.length = 4096;
+    recs.push_back({"chr1", generateReference(spec)});
+    spec.seed = 2;
+    recs.push_back({"chr2", generateReference(spec)});
+    writeFastaFile(path, recs);
+
+    auto back = readFastaFile(path);
+    ASSERT_EQ(back.size(), 2u);
+    std::vector<Base> cat;
+    for (const auto &rec : back)
+        cat.insert(cat.end(), rec.seq.begin(), rec.seq.end());
+    EXPECT_EQ(cat.size(), 8192u);
+    auto ds = makeDatasetFromRef("picea", std::move(cat));
+    EXPECT_EQ(ds.ref.size(), 8192u);
+    EXPECT_EQ(ds.paper_length, 20000000000ULL);
+    std::remove(path.c_str());
 }
 
 TEST(Fasta, RoundTrip)
