@@ -206,37 +206,33 @@ namespace {
 /**
  * Real-genome mode (ROADMAP "Real-genome FASTA workloads"): when
  * EXMA_REF_FASTA points at a FASTA file, every named dataset swaps the
- * synthetic reference for the file's records (concatenated), with the
- * k values rescaled to the file's actual size. Parsed per cached
- * dataset so exactly one copy of the sequence lives per name a harness
- * actually requests (no extra process-lifetime copy). Returns an empty
- * vector when the variable is unset, i.e. the synthetic fallback
+ * synthetic reference for the file's records (concatenated, with
+ * per-record spans kept for shard planning), the k values rescaled to
+ * the file's actual size. The file is parsed exactly once per process
+ * — the record list here is shared by every dataset-name construction
+ * (the old code re-read and re-parsed the file on every cache miss).
+ * Empty when the variable is unset, i.e. the synthetic fallback
  * applies.
  */
-std::vector<Base>
-loadFastaReference()
+const std::vector<FastaRecord> &
+fastaRecords()
 {
-    std::vector<Base> out;
-    const char *path = std::getenv("EXMA_REF_FASTA");
-    if (!path || !*path)
+    static const std::vector<FastaRecord> records = [] {
+        std::vector<FastaRecord> out;
+        const char *path = std::getenv("EXMA_REF_FASTA");
+        if (!path || !*path)
+            return out;
+        FastaParseStats st;
+        out = readFastaFile(path, &st);
+        if (out.empty())
+            exma_fatal("EXMA_REF_FASTA=%s holds no FASTA records", path);
+        exma_inform("EXMA_REF_FASTA: %s (%llu records, %llu bases) "
+                    "replaces the synthetic references",
+                    path, (unsigned long long)st.records,
+                    (unsigned long long)st.bases);
         return out;
-    const auto records = readFastaFile(path);
-    if (records.empty())
-        exma_fatal("EXMA_REF_FASTA=%s holds no FASTA records", path);
-    size_t total = 0;
-    for (const auto &rec : records)
-        total += rec.seq.size();
-    out.reserve(total);
-    for (const auto &rec : records)
-        out.insert(out.end(), rec.seq.begin(), rec.seq.end());
-    static bool announced = false;
-    if (!announced) {
-        announced = true;
-        exma_inform("EXMA_REF_FASTA: %s (%zu records, %zu bases) replaces "
-                    "the synthetic references",
-                    path, records.size(), out.size());
-    }
-    return out;
+    }();
+    return records;
 }
 
 } // namespace
@@ -247,10 +243,10 @@ dataset(const std::string &name)
     static std::map<std::string, Dataset> cache;
     auto it = cache.find(name);
     if (it == cache.end()) {
-        std::vector<Base> fa = loadFastaReference();
-        if (!fa.empty())
-            it = cache.emplace(name, makeDatasetFromRef(name,
-                                                        std::move(fa)))
+        const auto &records = fastaRecords();
+        if (!records.empty())
+            it = cache.emplace(name,
+                               makeDatasetFromRecords(name, records))
                      .first;
         else
             it = cache.emplace(name, makeDataset(name, scale())).first;

@@ -1,5 +1,6 @@
 #include "batch/batch_searcher.hh"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/thread_pool.hh"
@@ -20,6 +21,10 @@ BatchSearcher::search(const std::vector<std::vector<Base>> &queries) const
     out.per_thread.assign(parallelForSlots(cfg_.threads), SearchStats{});
     if (cfg_.per_query_stats)
         out.per_query.assign(queries.size(), SearchStats{});
+    if (cfg_.locate)
+        out.positions.resize(queries.size());
+    const u64 locate_limit = cfg_.locate_limit ? cfg_.locate_limit
+                                               : ~u64{0};
 
     const auto t0 = std::chrono::steady_clock::now();
     parallelFor(
@@ -32,6 +37,12 @@ BatchSearcher::search(const std::vector<std::vector<Base>> &queries) const
                 acc += qs;
                 if (cfg_.per_query_stats)
                     out.per_query[i] = qs;
+                if (cfg_.locate) {
+                    auto pos = table_.locateAll(out.intervals[i],
+                                                locate_limit);
+                    std::sort(pos.begin(), pos.end());
+                    out.positions[i] = std::move(pos);
+                }
             }
         },
         cfg_.threads);

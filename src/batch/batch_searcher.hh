@@ -32,12 +32,30 @@ struct BatchConfig
     u64 grain = 16;
     /** Record per-query SearchStats too (costs one vector of stats). */
     bool per_query_stats = false;
+    /**
+     * Also resolve each query's interval to text positions
+     * (BatchResult::positions, sorted ascending). This is what sharded
+     * serving needs: row intervals of different shard tables are not
+     * comparable, text positions are.
+     */
+    bool locate = false;
+    /**
+     * Cap on located positions per query; 0 = unlimited. The cap
+     * keeps the first `locate_limit` occurrences in suffix-array row
+     * order — the usual FM-index "report up to N" idiom — then sorts
+     * the survivors, so which subset is kept is index-dependent.
+     * Callers needing the lowest N text positions should use
+     * ShardedExmaTable::search, whose cap applies globally after the
+     * cross-shard merge.
+     */
+    u64 locate_limit = 0;
 };
 
 /** Outcome of one batch: index-aligned with the input queries. */
 struct BatchResult
 {
     std::vector<Interval> intervals;
+    std::vector<std::vector<u64>> positions; ///< iff cfg.locate (sorted)
     SearchStats stats;                     ///< merged across all workers
     std::vector<SearchStats> per_thread;   ///< one per participant slot
     std::vector<SearchStats> per_query;    ///< iff cfg.per_query_stats

@@ -85,6 +85,17 @@ class ExmaTable
                     SearchStats *stats = nullptr) const;
 
     /**
+     * Text positions of up to @p limit occurrences in a search
+     * interval (via the FM-Index SA samples), in row order. Sharded
+     * serving translates these into global reference coordinates.
+     */
+    std::vector<u64>
+    locateAll(const Interval &iv, u64 limit = ~u64{0}) const
+    {
+        return fm_->locateAll(iv, limit);
+    }
+
+    /**
      * One recorded k-step iteration of a search, for the trace-driven
      * accelerator timing model: the functional layer computes what is
      * fetched; the timing layer replays when.

@@ -25,12 +25,44 @@ writeFasta(std::ostream &os, const std::vector<FastaRecord> &records,
     }
 }
 
+namespace {
+
+/** Strictly A/C/G/T (either case) — everything else is ambiguous. */
+bool
+isUnambiguousBase(char c)
+{
+    switch (c) {
+      case 'A': case 'a':
+      case 'C': case 'c':
+      case 'G': case 'g':
+      case 'T': case 't':
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** ' ', '\t', '\r', ... — bytes that are layout, not sequence. */
+bool
+isFastaWhitespace(char c)
+{
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+           c == '\v' || c == '\f';
+}
+
+} // namespace
+
 std::vector<FastaRecord>
-readFasta(std::istream &is)
+readFasta(std::istream &is, FastaParseStats *stats)
 {
     std::vector<FastaRecord> records;
+    FastaParseStats st;
     std::string line;
     while (std::getline(is, line)) {
+        // CRLF files leave a trailing '\r' on every getline result;
+        // strip it here so even header names stay clean.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         if (line[0] == '>') {
@@ -39,11 +71,27 @@ readFasta(std::istream &is)
             rec.name = line.substr(1, end == std::string::npos
                                           ? std::string::npos : end - 1);
             records.push_back(std::move(rec));
+            ++st.records;
         } else if (!records.empty()) {
-            for (char c : line)
+            for (char c : line) {
+                if (isFastaWhitespace(c))
+                    continue; // layout bytes must not become bases
+                if (!isUnambiguousBase(c))
+                    ++st.ambiguous; // still encoded (as 'A'), but tallied
                 records.back().seq.push_back(charToBase(c));
+                ++st.bases;
+            }
         }
     }
+    if (st.ambiguous > 0)
+        exma_warn("readFasta: %llu of %llu sequence characters are "
+                  "ambiguous (non-ACGT, e.g. 'N' runs) and were encoded "
+                  "as 'A'; repeat statistics over these regions are not "
+                  "meaningful",
+                  (unsigned long long)st.ambiguous,
+                  (unsigned long long)st.bases);
+    if (stats)
+        *stats = st;
     return records;
 }
 
@@ -58,12 +106,12 @@ writeFastaFile(const std::string &path,
 }
 
 std::vector<FastaRecord>
-readFastaFile(const std::string &path)
+readFastaFile(const std::string &path, FastaParseStats *stats)
 {
     std::ifstream is(path);
     if (!is)
         exma_fatal("cannot open '%s' for reading", path.c_str());
-    return readFasta(is);
+    return readFasta(is, stats);
 }
 
 } // namespace exma

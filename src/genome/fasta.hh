@@ -22,17 +22,32 @@ struct FastaRecord
     std::vector<Base> seq;
 };
 
+/** What readFasta saw while parsing (CRLF handling, ambiguity tally). */
+struct FastaParseStats
+{
+    u64 records = 0;   ///< number of '>' headers
+    u64 bases = 0;     ///< sequence characters kept (after whitespace strip)
+    u64 ambiguous = 0; ///< non-ACGT sequence characters (N, IUPAC codes, ...)
+};
+
 /** Write records to a stream, wrapping sequence lines at @p width. */
 void writeFasta(std::ostream &os, const std::vector<FastaRecord> &records,
                 int width = 70);
 
-/** Parse all records from a stream. Ambiguous bases map to 'A'. */
-std::vector<FastaRecord> readFasta(std::istream &is);
+/**
+ * Parse all records from a stream. Whitespace inside sequence lines —
+ * including the '\r' of CRLF files — is stripped, never encoded.
+ * Ambiguous (non-ACGT) bases map to 'A'; they are tallied in @p stats
+ * and a single warning reports the total when any were seen.
+ */
+std::vector<FastaRecord> readFasta(std::istream &is,
+                                   FastaParseStats *stats = nullptr);
 
 /** Convenience file-path wrappers. */
 void writeFastaFile(const std::string &path,
                     const std::vector<FastaRecord> &records, int width = 70);
-std::vector<FastaRecord> readFastaFile(const std::string &path);
+std::vector<FastaRecord> readFastaFile(const std::string &path,
+                                       FastaParseStats *stats = nullptr);
 
 } // namespace exma
 

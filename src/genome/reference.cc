@@ -8,6 +8,16 @@
 
 namespace exma {
 
+u64
+sampleRepeatLength(Rng &rng, u64 mean)
+{
+    const double m = static_cast<double>(mean);
+    // The normal tail goes negative (≈0.13% of draws at sd = mean/3);
+    // casting a negative double to u64 is UB, so clamp first.
+    const double sampled = std::max(rng.normal(m, m / 3), 0.0);
+    return std::max<u64>(16, static_cast<u64>(sampled));
+}
+
 std::vector<Base>
 generateReference(const ReferenceSpec &spec)
 {
@@ -55,10 +65,7 @@ generateReference(const ReferenceSpec &spec)
         if (make_repeat) {
             // Copy an existing segment with point mutations: models
             // transposable elements / segmental duplications.
-            u64 seg_len = std::max<u64>(
-                16, static_cast<u64>(rng.normal(
-                        static_cast<double>(spec.repeat_len_mean),
-                        static_cast<double>(spec.repeat_len_mean) / 3)));
+            u64 seg_len = sampleRepeatLength(rng, spec.repeat_len_mean);
             seg_len = std::min<u64>(seg_len, ref.size());
             seg_len = std::min<u64>(seg_len, spec.length - ref.size());
             if (seg_len == 0)
@@ -142,6 +149,7 @@ makeDataset(const std::string &name, double scale)
     ds.paper_length = info->paper_len;
     ds.exma_k = scaledStep(spec.length, info->paper_len, 15);
     ds.lisa_k = scaledStep(spec.length, info->paper_len, 21);
+    ds.records = {{name + "_synthetic", 0, ds.ref.size()}};
     return ds;
 }
 
@@ -161,6 +169,27 @@ makeDatasetFromRef(const std::string &name, std::vector<Base> ref)
     ds.exma_k = scaledStep(ref.size(), info->paper_len, 15);
     ds.lisa_k = scaledStep(ref.size(), info->paper_len, 21);
     ds.ref = std::move(ref);
+    ds.records = {{name + "_ref", 0, ds.ref.size()}};
+    return ds;
+}
+
+Dataset
+makeDatasetFromRecords(const std::string &name,
+                       const std::vector<FastaRecord> &records)
+{
+    std::vector<Base> cat;
+    std::vector<RecordSpan> spans;
+    spans.reserve(records.size());
+    size_t total = 0;
+    for (const auto &rec : records)
+        total += rec.seq.size();
+    cat.reserve(total);
+    for (const auto &rec : records) {
+        spans.push_back({rec.name, cat.size(), rec.seq.size()});
+        cat.insert(cat.end(), rec.seq.begin(), rec.seq.end());
+    }
+    Dataset ds = makeDatasetFromRef(name, std::move(cat));
+    ds.records = std::move(spans);
     return ds;
 }
 

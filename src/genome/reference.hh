@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/rng.hh"
 #include "common/types.hh"
+#include "genome/fasta.hh"
 
 namespace exma {
 
@@ -42,6 +44,29 @@ struct ReferenceSpec
 /** Generate a synthetic reference according to @p spec. */
 std::vector<Base> generateReference(const ReferenceSpec &spec);
 
+/**
+ * One repeat-segment length draw: normal(mean, mean/3), clamped at 0
+ * *before* the double→u64 conversion (the negative tail of the normal
+ * would make that cast undefined behaviour), floored at 16 bases.
+ * Exposed so the clamp is directly exercisable under UBSan.
+ */
+u64 sampleRepeatLength(Rng &rng, u64 mean);
+
+/**
+ * A contiguous span of a concatenated reference that came from one
+ * source record (FASTA record / chromosome / synthetic block). Shard
+ * planning uses these to cut per-record shards whose boundaries are
+ * real sequence ends rather than arbitrary offsets.
+ */
+struct RecordSpan
+{
+    std::string name;
+    u64 begin = 0;  ///< offset in the concatenated reference
+    u64 length = 0; ///< span length in bases
+
+    bool operator==(const RecordSpan &) const = default;
+};
+
 /** A named evaluation dataset: reference plus scaling bookkeeping. */
 struct Dataset
 {
@@ -50,6 +75,8 @@ struct Dataset
     u64 paper_length = 0;   ///< the paper's full-scale |G| in bases
     int exma_k = 0;         ///< scaled k equivalent to the paper's k=15
     int lisa_k = 0;         ///< scaled k equivalent to LISA-21
+    /** Source-record spans covering ref (one span when synthetic). */
+    std::vector<RecordSpan> records;
 };
 
 /**
@@ -71,6 +98,16 @@ Dataset makeDataset(const std::string &name, double scale = 1.0);
  * @param ref   the reference sequence; must hold at least 64 bases.
  */
 Dataset makeDatasetFromRef(const std::string &name, std::vector<Base> ref);
+
+/**
+ * Record-aware variant of makeDatasetFromRef: concatenates the parsed
+ * FASTA records into the dataset reference and keeps one RecordSpan per
+ * record, so shard planning can partition along real record boundaries
+ * (ShardPlan::perRecord) instead of treating the concatenation as one
+ * opaque sequence.
+ */
+Dataset makeDatasetFromRecords(const std::string &name,
+                               const std::vector<FastaRecord> &records);
 
 /** All three dataset names in paper order. */
 const std::vector<std::string> &datasetNames();

@@ -1,0 +1,96 @@
+#include "shard/shard_plan.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+ShardPlan
+ShardPlan::fixedWidth(u64 ref_len, unsigned n_shards, u64 max_query_len)
+{
+    exma_assert(ref_len > 0, "cannot shard an empty reference");
+    exma_assert(n_shards > 0, "need at least one shard");
+    exma_assert(max_query_len > 0, "max_query_len must be positive");
+    // A bound past the reference length is meaningless (no longer query
+    // can match at all) and its overlap arithmetic would wrap u64 —
+    // kUnboundedQueryLen in particular is a perRecord-only value.
+    exma_assert(max_query_len <= ref_len,
+                "max_query_len %llu exceeds the %llu-base reference",
+                (unsigned long long)max_query_len,
+                (unsigned long long)ref_len);
+
+    ShardPlan plan;
+    plan.ref_len_ = ref_len;
+    plan.max_query_len_ = max_query_len;
+    plan.overlap_ = max_query_len - 1;
+
+    const u64 stride = (ref_len + n_shards - 1) / n_shards; // ceil
+    for (unsigned i = 0; i < n_shards; ++i) {
+        const u64 begin = stride * i;
+        if (begin >= ref_len)
+            break; // reference too small for the requested shard count
+        const u64 end = std::min(ref_len, begin + stride + plan.overlap_);
+        plan.shards_.push_back(
+            {"shard" + std::to_string(i), begin, end - begin});
+    }
+    return plan;
+}
+
+ShardPlan
+ShardPlan::perRecord(const std::vector<RecordSpan> &records)
+{
+    exma_assert(!records.empty(), "per-record plan needs records");
+
+    ShardPlan plan;
+    plan.overlap_ = 0;
+    plan.max_query_len_ = kUnboundedQueryLen;
+
+    u64 cursor = 0;
+    u64 folded = 0;
+    for (const RecordSpan &rec : records) {
+        exma_assert(rec.begin == cursor,
+                    "record spans must be contiguous from 0 (record "
+                    "'%s' begins at %llu, expected %llu)",
+                    rec.name.c_str(), (unsigned long long)rec.begin,
+                    (unsigned long long)cursor);
+        cursor += rec.length;
+        if (rec.length == 0) {
+            exma_warn("shard plan: skipping empty record '%s'",
+                      rec.name.c_str());
+            continue;
+        }
+        // A preceding shard still below the indexable minimum absorbs
+        // this record (spans are contiguous, so the slice stays one
+        // contiguous run).
+        if (!plan.shards_.empty() &&
+            plan.shards_.back().length < kMinShardBases) {
+            plan.shards_.back().length += rec.length;
+            plan.shards_.back().name += "+" + rec.name;
+            ++folded;
+            continue;
+        }
+        plan.shards_.push_back({rec.name, rec.begin, rec.length});
+    }
+    // A tiny trailing shard folds backwards instead.
+    if (plan.shards_.size() >= 2 &&
+        plan.shards_.back().length < kMinShardBases) {
+        Shard tail = plan.shards_.back();
+        plan.shards_.pop_back();
+        plan.shards_.back().length += tail.length;
+        plan.shards_.back().name += "+" + tail.name;
+        ++folded;
+    }
+    if (folded > 0)
+        exma_warn("shard plan: folded %llu record(s) shorter than "
+                  "%llu bases into neighbouring shards (only those "
+                  "seams can report concatenation artifacts)",
+                  (unsigned long long)folded,
+                  (unsigned long long)kMinShardBases);
+    plan.ref_len_ = cursor;
+    exma_assert(!plan.shards_.empty(),
+                "per-record plan: every record is empty");
+    return plan;
+}
+
+} // namespace exma

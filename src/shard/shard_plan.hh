@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reference partitioning for sharded multi-table serving — the software
+ * analogue of the paper's multi-channel scale-out (§V: EXMA spreads the
+ * k-step FM-index across parallel memory channels/DIMMs; FindeR makes
+ * the same move for FM-index rank hardware).
+ *
+ * A ShardPlan cuts the concatenated reference into contiguous shards,
+ * each of which gets its own ExmaTable. Two partitioning policies:
+ *
+ *  - fixedWidth: N equal-stride shards, adjacent shards overlapping by
+ *    max_query_len - 1 bases. Any match of length <= max_query_len
+ *    starting inside shard i's stride lies entirely within shard i, so
+ *    no match spanning a shard boundary is ever lost; matches falling
+ *    fully inside an overlap zone are found by both neighbours and
+ *    deduplicated at merge time.
+ *
+ *  - perRecord: one shard per source record (FASTA record /
+ *    chromosome), no overlap. Matches never span record boundaries in
+ *    real genomes — a "match" across the concatenation seam of two
+ *    chromosomes is an artifact — so this policy is the biologically
+ *    correct one, but it is deliberately NOT hit-set-equivalent to one
+ *    monolithic table over the concatenation (which reports seam
+ *    artifacts).
+ */
+
+#ifndef EXMA_SHARD_SHARD_PLAN_HH
+#define EXMA_SHARD_SHARD_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "genome/reference.hh"
+
+namespace exma {
+
+/** One contiguous slice of the global reference. */
+struct Shard
+{
+    std::string name;
+    u64 begin = 0;  ///< global offset of the shard's first base
+    u64 length = 0; ///< shard length in bases
+
+    u64 end() const { return begin + length; }
+    bool operator==(const Shard &) const = default;
+};
+
+class ShardPlan
+{
+  public:
+    /** maxQueryLen() value meaning "no per-query length bound". */
+    static constexpr u64 kUnboundedQueryLen = ~u64{0};
+
+    /** Smallest reference slice worth an ExmaTable of its own. */
+    static constexpr u64 kMinShardBases = 64;
+
+    /**
+     * Partition [0, ref_len) into @p n_shards equal-stride shards with
+     * an overlap of @p max_query_len - 1 bases between neighbours.
+     * Shards that would start past the end of a small reference are
+     * dropped, so the resulting plan may hold fewer than @p n_shards.
+     */
+    static ShardPlan fixedWidth(u64 ref_len, unsigned n_shards,
+                                u64 max_query_len);
+
+    /**
+     * One shard per record span (spans must be contiguous from 0, as
+     * produced by makeDatasetFromRecords). No overlap, no query-length
+     * bound. Records shorter than kMinShardBases — real assemblies
+     * carry tiny scaffolds — are folded into a neighbouring shard
+     * (with one summary warning) rather than given unbuildable tables
+     * of their own; only those folded seams can report concatenation
+     * artifacts.
+     */
+    static ShardPlan perRecord(const std::vector<RecordSpan> &records);
+
+    const std::vector<Shard> &shards() const { return shards_; }
+    size_t size() const { return shards_.size(); }
+
+    /** Length of the global reference the plan covers. */
+    u64 refLength() const { return ref_len_; }
+
+    /** Overlap between neighbouring shards (0 for per-record plans). */
+    u64 overlap() const { return overlap_; }
+
+    /**
+     * Longest query the boundary-overlap guarantee covers;
+     * kUnboundedQueryLen for per-record plans.
+     */
+    u64 maxQueryLen() const { return max_query_len_; }
+    bool boundsQueries() const
+    {
+        return max_query_len_ != kUnboundedQueryLen;
+    }
+
+  private:
+    std::vector<Shard> shards_;
+    u64 ref_len_ = 0;
+    u64 overlap_ = 0;
+    u64 max_query_len_ = kUnboundedQueryLen;
+};
+
+} // namespace exma
+
+#endif // EXMA_SHARD_SHARD_PLAN_HH

@@ -1,0 +1,171 @@
+#include "shard/sharded_table.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace exma {
+
+namespace {
+
+void
+checkQueries(const ShardPlan &plan,
+             const std::vector<std::vector<Base>> &queries)
+{
+    for (const auto &q : queries) {
+        exma_assert(!q.empty(), "sharded search: empty query");
+        if (plan.boundsQueries())
+            exma_assert(q.size() <= plan.maxQueryLen(),
+                        "sharded search: %zu-base query exceeds the "
+                        "plan's max_query_len of %llu — matches spanning "
+                        "a shard boundary could be lost; re-plan with a "
+                        "larger max_query_len",
+                        q.size(),
+                        (unsigned long long)plan.maxQueryLen());
+    }
+}
+
+/** Sort and deduplicate one query's merged cross-shard positions. */
+void
+dedup(std::vector<u64> &hits)
+{
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+}
+
+} // namespace
+
+ShardedExmaTable::ShardedExmaTable(const std::vector<Base> &ref,
+                                   const ShardPlan &plan, const Config &cfg)
+    : plan_(plan), cfg_(cfg)
+{
+    exma_assert(plan_.size() > 0, "shard plan holds no shards");
+    exma_assert(plan_.refLength() == ref.size(),
+                "shard plan covers %llu bases but the reference holds "
+                "%zu",
+                (unsigned long long)plan_.refLength(), ref.size());
+    for (const Shard &s : plan_.shards()) {
+        exma_assert(s.end() <= ref.size(),
+                    "shard '%s' [%llu, %llu) runs past the reference",
+                    s.name.c_str(), (unsigned long long)s.begin,
+                    (unsigned long long)s.end());
+        if (s.length < ShardPlan::kMinShardBases)
+            exma_fatal("shard '%s' holds only %llu bases (need >= "
+                       "%llu); lower the shard count",
+                       s.name.c_str(), (unsigned long long)s.length,
+                       (unsigned long long)ShardPlan::kMinShardBases);
+    }
+
+    tables_.resize(plan_.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(
+        plan_.size(), 1,
+        [&](u64 begin, u64 end, unsigned) {
+            for (u64 i = begin; i < end; ++i) {
+                const Shard &s = plan_.shards()[i];
+                const std::vector<Base> sub(
+                    ref.begin() + static_cast<std::ptrdiff_t>(s.begin),
+                    ref.begin() + static_cast<std::ptrdiff_t>(s.end()));
+                tables_[i] = std::make_unique<ExmaTable>(sub, cfg_.table);
+            }
+        },
+        cfg_.build_threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    build_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+}
+
+u64
+ShardedExmaTable::totalRows() const
+{
+    u64 rows = 0;
+    for (const auto &t : tables_)
+        rows += t->rows();
+    return rows;
+}
+
+std::vector<u64>
+ShardedExmaTable::findAll(const std::vector<Base> &query,
+                          SearchStats *stats) const
+{
+    checkQueries(plan_, {query});
+    std::vector<u64> hits;
+    for (size_t s = 0; s < tables_.size(); ++s) {
+        SearchStats shard_stats;
+        const Interval iv = tables_[s]->search(query, &shard_stats);
+        if (stats)
+            *stats += shard_stats;
+        for (u64 pos : tables_[s]->locateAll(iv))
+            hits.push_back(pos + plan_.shards()[s].begin);
+    }
+    dedup(hits);
+    return hits;
+}
+
+ShardedResult
+ShardedExmaTable::search(const std::vector<std::vector<Base>> &queries,
+                         const BatchConfig &cfg) const
+{
+    checkQueries(plan_, queries);
+
+    ShardedResult out;
+    out.queries = queries.size();
+    out.hits.resize(queries.size());
+    out.per_shard.assign(tables_.size(), SearchStats{});
+    for (const auto &q : queries)
+        out.bases += q.size();
+
+    BatchConfig shard_cfg = cfg;
+    shard_cfg.locate = true;
+    // ShardedResult has no per-query stats field; don't make every
+    // shard compute a vector nobody reads.
+    shard_cfg.per_query_stats = false;
+    // A per-shard locate_limit would truncate each shard's hits in SA
+    // order — an arbitrary, shard-count-dependent subset. Locate
+    // everything per shard and apply the caller's cap globally, after
+    // the merge, as "first locate_limit positions in ascending order".
+    shard_cfg.locate_limit = 0;
+    const u64 grain = std::max<u64>(cfg.grain, 1);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (size_t s = 0; s < tables_.size(); ++s) {
+        // Each shard's batch fans out over the pool inside
+        // BatchSearcher; shards run back-to-back so the pool stays
+        // saturated without nested result races.
+        const BatchResult br =
+            BatchSearcher(*tables_[s], shard_cfg).search(queries);
+        out.per_shard[s] = br.stats;
+        const u64 offset = plan_.shards()[s].begin;
+        parallelFor(
+            queries.size(), grain,
+            [&](u64 begin, u64 end, unsigned) {
+                for (u64 i = begin; i < end; ++i)
+                    for (u64 pos : br.positions[i])
+                        out.hits[i].push_back(pos + offset);
+            },
+            cfg.threads);
+    }
+    // Merge pass: overlap-zone matches were found by both neighbouring
+    // shards; sort + unique leaves exactly one global position each,
+    // then the caller's cap (if any) keeps the lowest positions.
+    parallelFor(
+        queries.size(), grain,
+        [&](u64 begin, u64 end, unsigned) {
+            for (u64 i = begin; i < end; ++i) {
+                dedup(out.hits[i]);
+                if (cfg.locate_limit &&
+                    out.hits[i].size() > cfg.locate_limit)
+                    out.hits[i].resize(cfg.locate_limit);
+            }
+        },
+        cfg.threads);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const SearchStats &s : out.per_shard)
+        out.stats += s;
+    return out;
+}
+
+} // namespace exma

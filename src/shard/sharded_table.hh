@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sharded multi-table serving: one ExmaTable per ShardPlan shard, built
+ * pool-parallel, queried by fanning each BatchSearcher batch out across
+ * the shards and merging per-shard results into global reference
+ * coordinates.
+ *
+ * This is the software analogue of the paper's multi-channel scale-out
+ * (§V spreads the k-step FM-index across memory channels/DIMMs) and the
+ * prerequisite for references too big for one table build: per-shard
+ * tables are smaller (suffix array, Occ table and learned index each
+ * scale with shard length, and 4^k row ids stay within u32 range for
+ * larger total references).
+ *
+ * Result semantics: because row intervals of different shard tables are
+ * not comparable, the sharded result is the set of *global match
+ * positions* per query — each shard's intervals are resolved through
+ * its FM-index SA samples, translated by the shard's global offset,
+ * and deduplicated across overlap zones. For a fixed-width plan this
+ * hit set is identical to locating a single monolithic table's search
+ * interval, for every query no longer than plan.maxQueryLen() —
+ * including matches spanning shard boundaries, found exactly once.
+ */
+
+#ifndef EXMA_SHARD_SHARDED_TABLE_HH
+#define EXMA_SHARD_SHARDED_TABLE_HH
+
+#include <memory>
+#include <vector>
+
+#include "batch/batch_searcher.hh"
+#include "common/dna.hh"
+#include "common/search_stats.hh"
+#include "core/exma_table.hh"
+#include "shard/shard_plan.hh"
+
+namespace exma {
+
+/** Outcome of one sharded batch: index-aligned with the input queries. */
+struct ShardedResult
+{
+    /** Per query: sorted, deduplicated global match positions. */
+    std::vector<std::vector<u64>> hits;
+    SearchStats stats;                   ///< merged across all shards
+    std::vector<SearchStats> per_shard;  ///< one per shard, in plan order
+    u64 queries = 0;
+    u64 bases = 0;     ///< total query symbols searched
+    double seconds = 0.0;
+
+    u64
+    totalHits() const
+    {
+        u64 n = 0;
+        for (const auto &h : hits)
+            n += h.size();
+        return n;
+    }
+
+    double
+    mbasesPerSecond() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(bases) / seconds / 1e6
+                   : 0.0;
+    }
+};
+
+class ShardedExmaTable
+{
+  public:
+    struct Config
+    {
+        /** Per-shard table configuration (same k for every shard). */
+        ExmaTable::Config table;
+        /** Shard-build parallelism: 0 = pool width, 1 = serial. */
+        unsigned build_threads = 0;
+    };
+
+    /**
+     * Build one ExmaTable per shard of @p plan over @p ref. Builds run
+     * pool-parallel across shards (ThreadPool/parallelFor; the nested
+     * KmerOccTable build parallelism composes safely with this).
+     */
+    ShardedExmaTable(const std::vector<Base> &ref, const ShardPlan &plan,
+                     const Config &cfg);
+
+    size_t shardCount() const { return tables_.size(); }
+    const ShardPlan &plan() const { return plan_; }
+    const ExmaTable &table(size_t i) const { return *tables_[i]; }
+    const Config &config() const { return cfg_; }
+
+    /** Wall-clock seconds the (parallel) shard builds took. */
+    double buildSeconds() const { return build_seconds_; }
+
+    /** Sum of per-shard BW-matrix row counts (build-size accounting). */
+    u64 totalRows() const;
+
+    /**
+     * One query: sorted, deduplicated global match positions across
+     * all shards; per-shard stats merge into @p stats if given.
+     */
+    std::vector<u64> findAll(const std::vector<Base> &query,
+                             SearchStats *stats = nullptr) const;
+
+    /**
+     * Fan a query batch out across every shard via BatchSearcher
+     * (cfg.locate is forced on; intervals stay shard-local and are not
+     * returned), translate and merge into global positions. Queries
+     * must be non-empty and, for fixed-width plans, no longer than
+     * plan().maxQueryLen(). cfg.locate_limit applies globally after
+     * the merge — the lowest positions survive — never per shard
+     * (which would keep a shard-count-dependent subset).
+     */
+    ShardedResult search(const std::vector<std::vector<Base>> &queries,
+                         const BatchConfig &cfg = {}) const;
+
+  private:
+    ShardPlan plan_;
+    Config cfg_;
+    std::vector<std::unique_ptr<ExmaTable>> tables_;
+    double build_seconds_ = 0.0;
+};
+
+} // namespace exma
+
+#endif // EXMA_SHARD_SHARDED_TABLE_HH

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "batch/batch_searcher.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
@@ -160,6 +162,48 @@ TEST(BatchSearcher, PerQueryStatsSumToTotal)
         SearchStats lone;
         table.search(qs[i], &lone);
         EXPECT_EQ(r.per_query[i], lone) << "i=" << i;
+    }
+}
+
+TEST(BatchSearcher, LocateResolvesIntervalsToSortedPositions)
+{
+    const ExmaTable &table = mtlTable();
+    const auto qs = randomQueries(80, 17);
+    BatchConfig cfg;
+    cfg.threads = 4;
+    cfg.locate = true;
+    const BatchResult r = BatchSearcher(table, cfg).search(qs);
+    ASSERT_EQ(r.positions.size(), qs.size());
+    for (size_t i = 0; i < qs.size(); ++i) {
+        auto expect = table.locateAll(r.intervals[i]);
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(r.positions[i], expect) << "i=" << i;
+        EXPECT_EQ(r.positions[i].size(), r.intervals[i].count());
+    }
+    // Off by default: no positions vector is filled.
+    const BatchResult plain = BatchSearcher(table).search(qs);
+    EXPECT_TRUE(plain.positions.empty());
+}
+
+TEST(BatchSearcher, LocateLimitCapsPositions)
+{
+    const ExmaTable &table = mtlTable();
+    const auto qs = randomQueries(60, 29);
+    BatchConfig cfg;
+    cfg.locate = true;
+    cfg.locate_limit = 2;
+    const BatchResult r = BatchSearcher(table, cfg).search(qs);
+    for (size_t i = 0; i < qs.size(); ++i) {
+        EXPECT_LE(r.positions[i].size(), 2u);
+        // The capped set is a genuine subset of the full hit set
+        // (SA-row-order truncation, sorted afterwards — see
+        // BatchConfig::locate_limit).
+        auto full = table.locateAll(r.intervals[i]);
+        std::sort(full.begin(), full.end());
+        EXPECT_TRUE(std::includes(full.begin(), full.end(),
+                                  r.positions[i].begin(),
+                                  r.positions[i].end()))
+            << "i=" << i;
     }
 }
 

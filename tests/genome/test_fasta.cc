@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "genome/fasta.hh"
+
+namespace exma {
+namespace {
+
+/**
+ * Regression: CRLF line endings used to append one bogus 'A' per
+ * sequence line ('\r' went through charToBase), silently corrupting
+ * every reference ingested from a Windows-formatted FASTA.
+ */
+TEST(Fasta, CrlfLinesAddNoBases)
+{
+    std::istringstream is(">chr1 desc\r\nACGT\r\nTTGC\r\n");
+    FastaParseStats st;
+    auto recs = readFasta(is, &st);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].name, "chr1");
+    EXPECT_EQ(recs[0].seq, encodeSeq("ACGTTTGC"));
+    EXPECT_EQ(st.records, 1u);
+    EXPECT_EQ(st.bases, 8u);
+    EXPECT_EQ(st.ambiguous, 0u);
+}
+
+TEST(Fasta, CrlfLowercaseAndNRunFixture)
+{
+    // One fixture with all three historical hazards: CRLF endings,
+    // lowercase (soft-masked) bases, and an ambiguous 'N' run.
+    std::istringstream is(">scaffold_1\r\n"
+                          "acgtACGT\r\n"
+                          "NNNNNNNN\r\n"
+                          "ttnnAC GT\r\n"); // embedded blank too
+    FastaParseStats st;
+    auto recs = readFasta(is, &st);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].name, "scaffold_1");
+    // 8 + 8 + 8 kept bases ("ttnnACGT" after the space is stripped).
+    ASSERT_EQ(recs[0].seq.size(), 24u);
+    EXPECT_EQ(st.bases, 24u);
+    // The 8-base N run plus the two embedded 'n's.
+    EXPECT_EQ(st.ambiguous, 10u);
+    // Lowercase encodes as the real base, not as 'A'.
+    EXPECT_EQ(std::vector<Base>(recs[0].seq.begin(), recs[0].seq.begin() + 4),
+              encodeSeq("ACGT"));
+    // Ambiguous characters still encode as 'A' (documented fallback).
+    EXPECT_EQ(recs[0].seq[8], charToBase('A'));
+}
+
+TEST(Fasta, InteriorWhitespaceIsStripped)
+{
+    std::istringstream is(">r\nAC GT\tAC\n");
+    FastaParseStats st;
+    auto recs = readFasta(is, &st);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].seq, encodeSeq("ACGTAC"));
+    EXPECT_EQ(st.ambiguous, 0u);
+}
+
+TEST(Fasta, StatsCoverMultipleRecords)
+{
+    std::istringstream is(">a\nACGTN\n>b\nGG\n");
+    FastaParseStats st;
+    auto recs = readFasta(is, &st);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(st.records, 2u);
+    EXPECT_EQ(st.bases, 7u);
+    EXPECT_EQ(st.ambiguous, 1u);
+}
+
+TEST(Fasta, StatsParamIsOptional)
+{
+    std::istringstream is(">a\nACGT\n");
+    auto recs = readFasta(is);
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].seq.size(), 4u);
+}
+
+} // namespace
+} // namespace exma

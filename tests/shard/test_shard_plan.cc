@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "shard/shard_plan.hh"
+
+namespace exma {
+namespace {
+
+TEST(ShardPlan, FixedWidthCoversReference)
+{
+    const auto plan = ShardPlan::fixedWidth(10000, 4, 101);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan.refLength(), 10000u);
+    EXPECT_EQ(plan.overlap(), 100u);
+    EXPECT_EQ(plan.maxQueryLen(), 101u);
+    EXPECT_TRUE(plan.boundsQueries());
+
+    // Strides tile [0, ref_len); each shard extends `overlap` past its
+    // stride (clamped at the end).
+    EXPECT_EQ(plan.shards()[0].begin, 0u);
+    EXPECT_EQ(plan.shards()[0].length, 2500u + 100u);
+    EXPECT_EQ(plan.shards()[1].begin, 2500u);
+    EXPECT_EQ(plan.shards()[3].begin, 7500u);
+    EXPECT_EQ(plan.shards()[3].end(), 10000u);
+
+    // Union of shards covers every base exactly (no gaps).
+    u64 covered_to = 0;
+    for (const Shard &s : plan.shards()) {
+        EXPECT_LE(s.begin, covered_to);
+        covered_to = std::max(covered_to, s.end());
+    }
+    EXPECT_EQ(covered_to, plan.refLength());
+}
+
+TEST(ShardPlan, FixedWidthGuaranteesBoundarySpanningMatches)
+{
+    // Every possible match of length <= max_query_len must lie fully
+    // inside at least one shard.
+    const u64 len = 3137; // deliberately not a multiple of anything
+    const u64 max_q = 24;
+    for (unsigned n : {1u, 2u, 3u, 8u, 16u}) {
+        const auto plan = ShardPlan::fixedWidth(len, n, max_q);
+        for (u64 p = 0; p + max_q <= len; ++p) {
+            bool contained = false;
+            for (const Shard &s : plan.shards())
+                contained |= s.begin <= p && p + max_q <= s.end();
+            ASSERT_TRUE(contained)
+                << "match [" << p << ", " << p + max_q << ") escapes all "
+                << n << " shards";
+        }
+    }
+}
+
+TEST(ShardPlan, SingleShardIsWholeReference)
+{
+    const auto plan = ShardPlan::fixedWidth(5000, 1, 101);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan.shards()[0].begin, 0u);
+    EXPECT_EQ(plan.shards()[0].length, 5000u);
+}
+
+TEST(ShardPlan, TinyReferenceDropsExcessShards)
+{
+    // 100 bases across 64 requested shards: stride 2, all 50 usable.
+    const auto plan = ShardPlan::fixedWidth(100, 64, 8);
+    EXPECT_LE(plan.size(), 64u);
+    EXPECT_GT(plan.size(), 0u);
+    EXPECT_EQ(plan.shards().back().end(), 100u);
+}
+
+TEST(ShardPlan, FixedWidthRejectsOverlongQueryBound)
+{
+    // Regression: max_query_len > ref_len (kUnboundedQueryLen in
+    // particular) made overlap_ wrap u64 and opened silent coverage
+    // gaps at every boundary; it must be rejected outright.
+    EXPECT_DEATH(ShardPlan::fixedWidth(1000, 4, 1001),
+                 "exceeds the 1000-base reference");
+    EXPECT_DEATH(
+        ShardPlan::fixedWidth(1000000, 8, ShardPlan::kUnboundedQueryLen),
+        "exceeds the");
+    // At exactly ref_len the plan is one full-cover shard per stride.
+    const auto plan = ShardPlan::fixedWidth(1000, 4, 1000);
+    for (const Shard &s : plan.shards())
+        EXPECT_EQ(s.end(), 1000u);
+}
+
+TEST(ShardPlan, PerRecordFollowsSpans)
+{
+    const std::vector<RecordSpan> spans = {
+        {"chr1", 0, 4000}, {"chr2", 4000, 2500}, {"chr3", 6500, 1000}};
+    const auto plan = ShardPlan::perRecord(spans);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan.refLength(), 7500u);
+    EXPECT_EQ(plan.overlap(), 0u);
+    EXPECT_FALSE(plan.boundsQueries());
+    EXPECT_EQ(plan.shards()[1],
+              (Shard{"chr2", 4000, 2500}));
+}
+
+TEST(ShardPlan, PerRecordSkipsEmptyRecords)
+{
+    const std::vector<RecordSpan> spans = {
+        {"chr1", 0, 4000}, {"empty", 4000, 0}, {"chr2", 4000, 96}};
+    const auto plan = ShardPlan::perRecord(spans);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan.refLength(), 4096u);
+    EXPECT_EQ(plan.shards()[1].name, "chr2");
+}
+
+TEST(ShardPlan, PerRecordFoldsTinyRecordsIntoNeighbours)
+{
+    // Real assemblies carry sub-64-base scaffolds; they must merge
+    // into a neighbouring shard instead of producing unbuildable
+    // tables (or aborting the run).
+    const std::vector<RecordSpan> spans = {
+        {"chr1", 0, 4000},
+        {"scaf1", 4000, 10},   // tiny: opens a pending shard...
+        {"scaf2", 4010, 20},   // ...absorbed while still tiny...
+        {"chr2", 4030, 1000},  // ...and topped up past the minimum
+        {"tail", 5030, 5}};    // tiny at the end: folds backwards
+    const auto plan = ShardPlan::perRecord(spans);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan.shards()[0], (Shard{"chr1", 0, 4000}));
+    EXPECT_EQ(plan.shards()[1],
+              (Shard{"scaf1+scaf2+chr2+tail", 4000, 1035}));
+    EXPECT_EQ(plan.refLength(), 5035u);
+    // Every shard is indexable.
+    for (const Shard &s : plan.shards())
+        EXPECT_GE(s.length, ShardPlan::kMinShardBases);
+    // Coverage still gapless and contiguous.
+    u64 cursor = 0;
+    for (const Shard &s : plan.shards()) {
+        EXPECT_EQ(s.begin, cursor);
+        cursor = s.end();
+    }
+    EXPECT_EQ(cursor, plan.refLength());
+}
+
+TEST(ShardPlan, PerRecordFoldsLoneLeadingTinyRecordForward)
+{
+    const std::vector<RecordSpan> spans = {
+        {"scaf", 0, 8}, {"chr1", 8, 4088}};
+    const auto plan = ShardPlan::perRecord(spans);
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan.shards()[0], (Shard{"scaf+chr1", 0, 4096}));
+}
+
+} // namespace
+} // namespace exma

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "genome/reads.hh"
+#include "genome/reference.hh"
+#include "shard/sharded_table.hh"
+
+namespace exma {
+namespace {
+
+constexpr u64 kMaxQueryLen = 24;
+
+ExmaTable::Config
+tableCfg(int k, OccIndexMode mode = OccIndexMode::Exact)
+{
+    ExmaTable::Config cfg;
+    cfg.k = k;
+    cfg.mode = mode;
+    cfg.mtl.epochs = 10;
+    cfg.mtl.samples_per_class = 512;
+    return cfg;
+}
+
+/** Ground truth: one monolithic table's located, sorted hit set. */
+std::vector<u64>
+singleTableHits(const ExmaTable &table, const std::vector<Base> &query,
+                SearchStats *stats = nullptr)
+{
+    auto hits = table.locateAll(table.search(query, stats));
+    std::sort(hits.begin(), hits.end());
+    return hits;
+}
+
+/**
+ * Query mix for one dataset/shard-count pair: random reference
+ * substrings (hits), random misses, and — the point of the exercise —
+ * substrings centred on every internal shard boundary, so matches that
+ * span boundaries are exercised on purpose.
+ */
+std::vector<std::vector<Base>>
+queryMix(const std::vector<Base> &ref, const ShardPlan &plan, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<Base>> qs;
+    for (u64 i = 0; i < 40; ++i) {
+        const u64 len = 6 + rng.below(kMaxQueryLen - 5);
+        if (i % 5 == 4) { // pure-random, mostly a miss
+            std::vector<Base> q(len);
+            for (auto &b : q)
+                b = static_cast<Base>(rng.below(4));
+            qs.push_back(std::move(q));
+        } else {
+            const u64 pos = rng.below(ref.size() - len + 1);
+            qs.emplace_back(ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                            ref.begin() +
+                                static_cast<std::ptrdiff_t>(pos + len));
+        }
+    }
+    // One straddler per internal boundary: starts kMaxQueryLen/2 bases
+    // before a later shard's begin, so it crosses that boundary.
+    for (size_t s = 1; s < plan.size(); ++s) {
+        const u64 boundary = plan.shards()[s].begin;
+        const u64 start = boundary - std::min<u64>(boundary,
+                                                   kMaxQueryLen / 2);
+        const u64 len = std::min<u64>(kMaxQueryLen, ref.size() - start);
+        qs.emplace_back(ref.begin() + static_cast<std::ptrdiff_t>(start),
+                        ref.begin() +
+                            static_cast<std::ptrdiff_t>(start + len));
+    }
+    return qs;
+}
+
+TEST(ShardedExmaTable, HitSetMatchesSingleTableOnAllDatasets)
+{
+    for (const std::string &name : datasetNames()) {
+        const Dataset ds = makeDataset(name, 0.001);
+        const auto cfg = tableCfg(ds.exma_k);
+        const ExmaTable single(ds.ref, cfg);
+
+        for (unsigned n_shards : {1u, 2u, 8u}) {
+            const auto plan = ShardPlan::fixedWidth(
+                ds.ref.size(), n_shards, kMaxQueryLen);
+            ShardedExmaTable::Config scfg;
+            scfg.table = cfg;
+            const ShardedExmaTable sharded(ds.ref, plan, scfg);
+            ASSERT_EQ(sharded.shardCount(), plan.size());
+
+            const auto qs = queryMix(ds.ref, plan, 7 + n_shards);
+            BatchConfig bc;
+            bc.threads = 4;
+            bc.grain = 3;
+            const ShardedResult r = sharded.search(qs, bc);
+            ASSERT_EQ(r.hits.size(), qs.size());
+
+            for (size_t i = 0; i < qs.size(); ++i) {
+                const auto expect = singleTableHits(single, qs[i]);
+                EXPECT_EQ(r.hits[i], expect)
+                    << name << " shards=" << n_shards << " query " << i;
+                // Dedup really happened: strictly increasing positions.
+                EXPECT_TRUE(std::adjacent_find(r.hits[i].begin(),
+                                               r.hits[i].end()) ==
+                            r.hits[i].end());
+            }
+        }
+    }
+}
+
+TEST(ShardedExmaTable, BoundarySpanningMatchFoundExactlyOnce)
+{
+    const Dataset ds = makeDataset("human", 0.001);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 8, kMaxQueryLen);
+    ASSERT_GE(plan.size(), 2u);
+    ShardedExmaTable::Config scfg;
+    scfg.table = tableCfg(ds.exma_k);
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+
+    for (size_t s = 1; s < plan.size(); ++s) {
+        const u64 boundary = plan.shards()[s].begin;
+        const u64 start = boundary - kMaxQueryLen / 2;
+        const std::vector<Base> q(
+            ds.ref.begin() + static_cast<std::ptrdiff_t>(start),
+            ds.ref.begin() +
+                static_cast<std::ptrdiff_t>(start + kMaxQueryLen));
+        const auto hits = sharded.findAll(q);
+        // The planted occurrence is reported once, despite straddling
+        // the boundary (and possibly lying in two shards' overlap).
+        EXPECT_EQ(std::count(hits.begin(), hits.end(), start), 1)
+            << "boundary at " << boundary;
+        EXPECT_FALSE(hits.empty());
+    }
+}
+
+TEST(ShardedExmaTable, OneShardEqualsSingleTableStats)
+{
+    const Dataset ds = makeDataset("human", 0.001);
+    const auto cfg = tableCfg(ds.exma_k);
+    const ExmaTable single(ds.ref, cfg);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 1, kMaxQueryLen);
+    ShardedExmaTable::Config scfg;
+    scfg.table = cfg;
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+
+    const auto qs = queryMix(ds.ref, plan, 5);
+    SearchStats expect;
+    std::vector<std::vector<u64>> expect_hits;
+    for (const auto &q : qs)
+        expect_hits.push_back(singleTableHits(single, q, &expect));
+
+    const ShardedResult r = sharded.search(qs);
+    EXPECT_EQ(r.stats, expect); // one shard == the monolithic table
+    for (size_t i = 0; i < qs.size(); ++i)
+        EXPECT_EQ(r.hits[i], expect_hits[i]);
+    EXPECT_EQ(r.queries, qs.size());
+}
+
+TEST(ShardedExmaTable, PerShardStatsMergeToTotal)
+{
+    const Dataset ds = makeDataset("picea", 0.001);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 4, kMaxQueryLen);
+    ShardedExmaTable::Config scfg;
+    scfg.table = tableCfg(ds.exma_k);
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+
+    const auto qs = queryMix(ds.ref, plan, 11);
+    const ShardedResult r = sharded.search(qs);
+    ASSERT_EQ(r.per_shard.size(), plan.size());
+    SearchStats merged;
+    for (const SearchStats &s : r.per_shard)
+        merged += s;
+    EXPECT_EQ(merged, r.stats);
+    EXPECT_GT(r.stats.kstep_iterations, 0u);
+
+    // findAll merges the same per-shard stats for a lone query.
+    SearchStats lone;
+    const auto hits = sharded.findAll(qs[0], &lone);
+    EXPECT_GT(lone.kstep_iterations, 0u);
+    EXPECT_EQ(hits, r.hits[0]);
+}
+
+TEST(ShardedExmaTable, LearnedModeMatchesExactMode)
+{
+    const Dataset ds = makeDataset("human", 0.001);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 2, kMaxQueryLen);
+    ShardedExmaTable::Config exact, mtl;
+    exact.table = tableCfg(ds.exma_k, OccIndexMode::Exact);
+    mtl.table = tableCfg(ds.exma_k, OccIndexMode::Mtl);
+    const ShardedExmaTable a(ds.ref, plan, exact);
+    const ShardedExmaTable b(ds.ref, plan, mtl);
+
+    const auto qs = queryMix(ds.ref, plan, 23);
+    const ShardedResult ra = a.search(qs);
+    const ShardedResult rb = b.search(qs);
+    for (size_t i = 0; i < qs.size(); ++i)
+        EXPECT_EQ(ra.hits[i], rb.hits[i]) << "query " << i;
+}
+
+TEST(ShardedExmaTable, PerRecordPlanFindsWithinRecordMatches)
+{
+    // Two-record dataset: per-record shards must find in-record matches
+    // at their global coordinates.
+    std::vector<FastaRecord> recs;
+    ReferenceSpec spec;
+    spec.length = 4096;
+    spec.seed = 31;
+    recs.push_back({"chrA", generateReference(spec)});
+    spec.seed = 32;
+    recs.push_back({"chrB", generateReference(spec)});
+    const Dataset ds = makeDatasetFromRecords("human", recs);
+
+    const auto plan = ShardPlan::perRecord(ds.records);
+    ASSERT_EQ(plan.size(), 2u);
+    ShardedExmaTable::Config scfg;
+    scfg.table = tableCfg(5);
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+
+    // A probe from the middle of chrB, located globally.
+    const u64 start = 4096 + 1000;
+    const std::vector<Base> q(
+        ds.ref.begin() + start, ds.ref.begin() + start + 20);
+    const auto hits = sharded.findAll(q);
+    EXPECT_EQ(std::count(hits.begin(), hits.end(), start), 1);
+    // Unbounded plans accept long queries.
+    EXPECT_FALSE(plan.boundsQueries());
+}
+
+TEST(ShardedExmaTable, LocateLimitAppliesGloballyAfterMerge)
+{
+    // Regression: forwarding locate_limit per shard truncated each
+    // shard's hits in SA order — an arbitrary, shard-count-dependent
+    // subset. The cap must instead keep the lowest global positions.
+    const Dataset ds = makeDataset("human", 0.001);
+    const auto cfg = tableCfg(ds.exma_k);
+    const ExmaTable single(ds.ref, cfg);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 8, kMaxQueryLen);
+    ShardedExmaTable::Config scfg;
+    scfg.table = cfg;
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+
+    // Short queries so several have multiple occurrences.
+    std::vector<std::vector<Base>> qs;
+    Rng rng(3);
+    for (int i = 0; i < 40; ++i) {
+        const u64 pos = rng.below(ds.ref.size() - 6);
+        qs.emplace_back(ds.ref.begin() + static_cast<std::ptrdiff_t>(pos),
+                        ds.ref.begin() + static_cast<std::ptrdiff_t>(pos + 6));
+    }
+    BatchConfig bc;
+    bc.locate_limit = 3;
+    const ShardedResult r = sharded.search(qs, bc);
+    bool saw_capped = false;
+    for (size_t i = 0; i < qs.size(); ++i) {
+        const auto full = singleTableHits(single, qs[i]);
+        const size_t expect = std::min<size_t>(full.size(), 3);
+        ASSERT_EQ(r.hits[i].size(), expect) << "query " << i;
+        // The survivors are exactly the lowest positions.
+        EXPECT_TRUE(std::equal(r.hits[i].begin(), r.hits[i].end(),
+                               full.begin()))
+            << "query " << i;
+        saw_capped |= full.size() > 3;
+    }
+    EXPECT_TRUE(saw_capped) << "fixture never exceeded the cap";
+}
+
+TEST(ShardedExmaTable, EmptyBatch)
+{
+    const Dataset ds = makeDataset("human", 0.001);
+    const auto plan = ShardPlan::fixedWidth(ds.ref.size(), 2, kMaxQueryLen);
+    ShardedExmaTable::Config scfg;
+    scfg.table = tableCfg(ds.exma_k);
+    const ShardedExmaTable sharded(ds.ref, plan, scfg);
+    const ShardedResult r = sharded.search({});
+    EXPECT_TRUE(r.hits.empty());
+    EXPECT_EQ(r.queries, 0u);
+    EXPECT_EQ(r.stats, SearchStats{});
+    EXPECT_EQ(r.totalHits(), 0u);
+}
+
+} // namespace
+} // namespace exma
