@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate bench JSON reports against a committed baseline.
+
+Compares the throughput metrics of a freshly produced bench report
+(e.g. the bench-smoke job's BENCH_bench_scaling.json) against a
+baseline committed under bench/results/, and exits non-zero when any
+metric regresses by more than the tolerance. Metrics are the
+`notes` entries whose key starts with --metric-prefix (default
+`mbases_per_s`, i.e. throughput — higher is better); build times and
+other lower-is-better notes are deliberately not gated, since they are
+far noisier on shared runners.
+
+Exit codes:
+  0  no regression
+  1  at least one metric regressed, or a baseline metric disappeared
+  2  bad invocation / unreadable report / scale mismatch
+
+Refreshing the baseline is documented in bench/results/README.md.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    """Load one bench JSON report; returns (scale, {metric: value})."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read bench report {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(2)
+    metrics = {}
+    for fig in doc.get("figures", []):
+        for key, value in fig.get("notes", {}).items():
+            if isinstance(value, (int, float)):
+                metrics[key] = float(value)
+    return doc.get("scale"), metrics
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when bench throughput regresses vs a baseline.")
+    parser.add_argument("--current", required=True,
+                        help="bench JSON produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline bench JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop before failing "
+                             "(default 0.25 = -25%%, absorbs runner noise)")
+    parser.add_argument("--metric-prefix", default="mbases_per_s",
+                        help="gate notes whose key starts with this "
+                             "(default: mbases_per_s)")
+    parser.add_argument("--allow-scale-mismatch", action="store_true",
+                        help="compare reports taken at different "
+                             "EXMA_BENCH_SCALE values (normally an error: "
+                             "throughput at different scales is not "
+                             "comparable)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    cur_scale, current = load_report(args.current)
+    base_scale, baseline = load_report(args.baseline)
+    if cur_scale != base_scale and not args.allow_scale_mismatch:
+        print(f"error: scale mismatch: current ran at {cur_scale}, "
+              f"baseline at {base_scale}; refresh the baseline or pass "
+              f"--allow-scale-mismatch", file=sys.stderr)
+        return 2
+
+    gated = {k: v for k, v in baseline.items()
+             if k.startswith(args.metric_prefix)}
+    if not gated:
+        print(f"error: baseline {args.baseline} holds no "
+              f"'{args.metric_prefix}*' metrics", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'metric':<28} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for key in sorted(gated):
+        base = gated[key]
+        if key not in current:
+            # A vanished metric means the sweep silently shrank — the
+            # gate must not reward deleting the benchmark.
+            print(f"{key:<28} {base:>10.2f} {'MISSING':>10} {'':>8}")
+            failures.append(f"{key}: present in baseline but missing "
+                            f"from current report")
+            continue
+        cur = current[key]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if base > 0 and delta < -args.tolerance:
+            flag = "  << REGRESSION"
+            failures.append(f"{key}: {base:.2f} -> {cur:.2f} "
+                            f"({delta * 100:+.1f}%, tolerance "
+                            f"-{args.tolerance * 100:.0f}%)")
+        print(f"{key:<28} {base:>10.2f} {cur:>10.2f} "
+              f"{delta * 100:>+7.1f}%{flag}")
+
+    new_keys = sorted(k for k in current
+                      if k.startswith(args.metric_prefix) and k not in gated)
+    if new_keys:
+        print(f"note: {len(new_keys)} metric(s) not in baseline yet: "
+              f"{', '.join(new_keys)}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) beyond "
+              f"-{args.tolerance * 100:.0f}%:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("If expected (e.g. a deliberate trade-off), refresh the "
+              "baseline per bench/results/README.md.", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(gated)} metric(s) within "
+          f"-{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

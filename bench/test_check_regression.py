@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Unit tests for check_regression.py, including the synthetic -50%
+fixture the CI bench-smoke job runs to prove the gate actually fails.
+
+Run directly (no pytest dependency): python3 bench/test_check_regression.py -v
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+CHECKER = os.path.join(HERE, "check_regression.py")
+
+
+def report(scale=0.05, notes=None, extra_figures=None):
+    """A minimal bench JSON document in the bench_util writer's shape."""
+    figures = [{"figure": "Scaling", "what": "test fixture",
+                "notes": notes or {}, "tables": []}]
+    if extra_figures:
+        figures += extra_figures
+    return {"harness": "bench_scaling", "scale": scale, "figures": figures}
+
+
+BASELINE_NOTES = {
+    "mbases_per_s_t1": 100.0,
+    "mbases_per_s_shards4": 40.0,
+    "mbases_per_s_routed4": 60.0,
+    "build_s_shards4": 1.0,  # lower-is-better: must never be gated
+}
+
+
+class CheckRegressionTest(unittest.TestCase):
+
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+        return path
+
+    def run_checker(self, current, baseline, *extra):
+        return subprocess.run(
+            [sys.executable, CHECKER, "--current", current,
+             "--baseline", baseline, *extra],
+            capture_output=True, text=True)
+
+    def test_identical_reports_pass(self):
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=BASELINE_NOTES))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("OK", proc.stdout)
+
+    def test_drop_within_default_tolerance_passes(self):
+        notes = {k: v * 0.80 for k, v in BASELINE_NOTES.items()}
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_synthetic_fifty_percent_regression_fails(self):
+        # The demonstrable failure case: every throughput metric halved
+        # must trip the default -25% gate.
+        notes = {k: v * 0.50 for k, v in BASELINE_NOTES.items()}
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertIn("mbases_per_s_routed4", proc.stderr)
+
+    def test_single_metric_regression_is_enough(self):
+        notes = dict(BASELINE_NOTES)
+        notes["mbases_per_s_routed4"] = 60.0 * 0.4
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 1)
+
+    def test_wider_tolerance_is_configurable(self):
+        notes = {k: v * 0.50 for k, v in BASELINE_NOTES.items()}
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base, "--tolerance", "0.6")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_build_times_are_not_gated(self):
+        # A 10x build-time blow-up alone must not fail the gate: only
+        # metric-prefix (throughput) notes are compared.
+        notes = dict(BASELINE_NOTES)
+        notes["build_s_shards4"] = 10.0
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_missing_baseline_metric_fails(self):
+        # Deleting a benchmark must not read as "no regression".
+        notes = dict(BASELINE_NOTES)
+        del notes["mbases_per_s_routed4"]
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing", proc.stderr)
+
+    def test_new_metrics_in_current_are_fine(self):
+        notes = dict(BASELINE_NOTES)
+        notes["mbases_per_s_routed8"] = 70.0
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("not in baseline yet", proc.stdout)
+
+    def test_scale_mismatch_is_an_error(self):
+        base = self.write("base.json",
+                          report(scale=0.05, notes=BASELINE_NOTES))
+        cur = self.write("cur.json",
+                         report(scale=0.25, notes=BASELINE_NOTES))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("scale mismatch", proc.stderr)
+        proc = self.run_checker(cur, base, "--allow-scale-mismatch")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_metrics_collected_across_figures(self):
+        extra = [{"figure": "Routed", "what": "x",
+                  "notes": {"mbases_per_s_routed4": 60.0}, "tables": []}]
+        base_doc = report(notes={"mbases_per_s_t1": 100.0},
+                          extra_figures=copy.deepcopy(extra))
+        cur_doc = report(notes={"mbases_per_s_t1": 100.0},
+                         extra_figures=extra)
+        cur_doc["figures"][1]["notes"]["mbases_per_s_routed4"] = 20.0
+        base = self.write("base.json", base_doc)
+        cur = self.write("cur.json", cur_doc)
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 1)
+
+    def test_unreadable_report_is_usage_error(self):
+        # Exit 2 (usage/infrastructure), never 1 (regression): a broken
+        # artifact must not page as a performance regression.
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        bad = os.path.join(self.tmp.name, "bad.json")
+        with open(bad, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        proc = self.run_checker(bad, base)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+        proc = self.run_checker(os.path.join(self.tmp.name, "absent.json"),
+                                base)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_real_committed_baseline_parses(self):
+        # The baseline the CI job actually gates on must stay loadable
+        # and hold routed metrics.
+        baseline = os.path.join(HERE, "results",
+                                "BENCH_bench_scaling_ci_baseline.json")
+        proc = self.run_checker(baseline, baseline)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("mbases_per_s_routed4", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

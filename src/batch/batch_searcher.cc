@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.hh"
 #include "common/thread_pool.hh"
 
 namespace exma {
@@ -15,33 +16,61 @@ BatchSearcher::BatchSearcher(const ExmaTable &table, BatchConfig cfg)
 BatchResult
 BatchSearcher::search(const std::vector<std::vector<Base>> &queries) const
 {
+    return run(queries, nullptr);
+}
+
+BatchResult
+BatchSearcher::search(const std::vector<std::vector<Base>> &queries,
+                      const std::vector<u32> &ids) const
+{
+    for (u32 id : ids)
+        exma_assert(id < queries.size(),
+                    "subset id %u exceeds the %zu-query batch", id,
+                    queries.size());
+    return run(queries, &ids);
+}
+
+BatchResult
+BatchSearcher::run(const std::vector<std::vector<Base>> &queries,
+                   const std::vector<u32> *ids) const
+{
+    const u64 n = ids ? ids->size() : queries.size();
     BatchResult out;
-    out.queries = queries.size();
-    out.intervals.resize(queries.size());
+    out.queries = n;
+    out.intervals.resize(n);
     out.per_thread.assign(parallelForSlots(cfg_.threads), SearchStats{});
     if (cfg_.per_query_stats)
-        out.per_query.assign(queries.size(), SearchStats{});
+        out.per_query.assign(n, SearchStats{});
     if (cfg_.locate)
-        out.positions.resize(queries.size());
+        out.positions.resize(n);
     const u64 locate_limit = cfg_.locate_limit ? cfg_.locate_limit
                                                : ~u64{0};
 
     const auto t0 = std::chrono::steady_clock::now();
     parallelFor(
-        queries.size(), cfg_.grain,
+        n, cfg_.grain,
         [&](u64 begin, u64 end, unsigned slot) {
             SearchStats &acc = out.per_thread[slot];
             for (u64 i = begin; i < end; ++i) {
+                const std::vector<Base> &q =
+                    queries[ids ? (*ids)[i] : i];
                 SearchStats qs;
-                out.intervals[i] = table_.search(queries[i], &qs);
+                out.intervals[i] = table_.search(q, &qs);
                 acc += qs;
                 if (cfg_.per_query_stats)
                     out.per_query[i] = qs;
                 if (cfg_.locate) {
-                    auto pos = table_.locateAll(out.intervals[i],
-                                                locate_limit);
-                    std::sort(pos.begin(), pos.end());
-                    out.positions[i] = std::move(pos);
+                    if (table_.segmented()) {
+                        // Global coordinates, junction artifacts
+                        // dropped before the cap is applied.
+                        out.positions[i] = table_.locateAllGlobal(
+                            out.intervals[i], q.size(), locate_limit);
+                    } else {
+                        auto pos = table_.locateAll(out.intervals[i],
+                                                    locate_limit);
+                        std::sort(pos.begin(), pos.end());
+                        out.positions[i] = std::move(pos);
+                    }
                 }
             }
         },
@@ -49,8 +78,8 @@ BatchSearcher::search(const std::vector<std::vector<Base>> &queries) const
     const auto t1 = std::chrono::steady_clock::now();
 
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    for (const auto &q : queries)
-        out.bases += q.size();
+    for (u64 i = 0; i < n; ++i)
+        out.bases += queries[ids ? (*ids)[i] : i].size();
     for (const SearchStats &s : out.per_thread)
         out.stats += s;
     return out;

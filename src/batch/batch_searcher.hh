@@ -36,7 +36,10 @@ struct BatchConfig
      * Also resolve each query's interval to text positions
      * (BatchResult::positions, sorted ascending). This is what sharded
      * serving needs: row intervals of different shard tables are not
-     * comparable, text positions are.
+     * comparable, text positions are. Segment-mapped tables
+     * (ExmaTable::segmented()) locate through locateAllGlobal, so the
+     * reported positions are global coordinates with junction
+     * artifacts already dropped.
      */
     bool locate = false;
     /**
@@ -82,7 +85,21 @@ class BatchSearcher
     /** Search every query; wall-clock timed (result.seconds). */
     BatchResult search(const std::vector<std::vector<Base>> &queries) const;
 
+    /**
+     * Routed fan-out path: search only the queries selected by @p ids
+     * (indices into @p queries, any order, duplicates allowed).
+     * Results are index-aligned with @p ids — result.intervals[j]
+     * belongs to queries[ids[j]] — so a ShardRouter can hand each
+     * shard worker its own id list over one shared batch and scatter
+     * the responses back without copying query storage.
+     */
+    BatchResult search(const std::vector<std::vector<Base>> &queries,
+                       const std::vector<u32> &ids) const;
+
   private:
+    BatchResult run(const std::vector<std::vector<Base>> &queries,
+                    const std::vector<u32> *ids) const;
+
     const ExmaTable &table_;
     BatchConfig cfg_;
 };

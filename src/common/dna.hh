@@ -45,11 +45,11 @@ inline Base
 charToBase(char c)
 {
     switch (c) {
-      case 'A': case 'a': return 0;
-      case 'C': case 'c': return 1;
-      case 'G': case 'g': return 2;
-      case 'T': case 't': return 3;
-      default: return 0;
+        case 'A': case 'a': return 0;
+        case 'C': case 'c': return 1;
+        case 'G': case 'g': return 2;
+        case 'T': case 't': return 3;
+        default: return 0;
     }
 }
 

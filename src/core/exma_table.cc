@@ -1,5 +1,7 @@
 #include "core/exma_table.hh"
 
+#include <algorithm>
+
 #include "common/branchless.hh"
 #include "common/logging.hh"
 #include "compress/chain.hh"
@@ -10,19 +12,59 @@ namespace exma {
 ExmaTable::ExmaTable(const std::vector<Base> &ref, const Config &cfg)
     : cfg_(cfg)
 {
+    build(ref);
+}
+
+ExmaTable::ExmaTable(const std::vector<Base> &ref,
+                     std::vector<TextSegment> segments, const Config &cfg)
+    : cfg_(cfg), segments_(std::move(segments))
+{
+    validateSegments(segments_, ref.size());
+    const std::vector<Base> local = extractSegments(ref, segments_);
+    build(local);
+}
+
+void
+ExmaTable::build(const std::vector<Base> &ref)
+{
     const std::vector<SaIndex> sa = buildSuffixArray(ref);
-    fm_ = std::make_unique<FmIndex>(ref, sa, cfg.fm);
-    occ_ = std::make_unique<KmerOccTable>(ref, sa, cfg.k);
-    switch (cfg.mode) {
-      case OccIndexMode::Exact:
-        break;
-      case OccIndexMode::NaiveLearned:
-        naive_ = std::make_unique<NaiveKmerIndex>(*occ_, cfg.naive);
-        break;
-      case OccIndexMode::Mtl:
-        mtl_ = std::make_unique<MtlIndex>(*occ_, cfg.mtl);
-        break;
+    fm_ = std::make_unique<FmIndex>(ref, sa, cfg_.fm);
+    occ_ = std::make_unique<KmerOccTable>(ref, sa, cfg_.k);
+    switch (cfg_.mode) {
+        case OccIndexMode::Exact:
+            break;
+        case OccIndexMode::NaiveLearned:
+            naive_ = std::make_unique<NaiveKmerIndex>(*occ_, cfg_.naive);
+            break;
+        case OccIndexMode::Mtl:
+            mtl_ = std::make_unique<MtlIndex>(*occ_, cfg_.mtl);
+            break;
     }
+}
+
+std::vector<u64>
+ExmaTable::locateAllGlobal(const Interval &iv, u64 query_len,
+                           u64 limit) const
+{
+    // Locate everything first: in a segment-mapped table the junction
+    // filter decides which occurrences are real, so an early cap would
+    // let artifacts crowd genuine positions out of the budget.
+    std::vector<u64> local = fm_->locateAll(iv);
+    std::vector<u64> out;
+    if (segments_.empty()) {
+        out = std::move(local);
+    } else {
+        out.reserve(local.size());
+        for (u64 pos : local) {
+            u64 global = 0;
+            if (translateLocalMatch(segments_, pos, query_len, &global))
+                out.push_back(global);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    if (out.size() > limit)
+        out.resize(limit);
+    return out;
 }
 
 IndexLookup

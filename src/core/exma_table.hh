@@ -16,6 +16,7 @@
 
 #include "common/dna.hh"
 #include "common/search_stats.hh"
+#include "core/text_segments.hh"
 #include "fmindex/fm_index.hh"
 #include "fmindex/kmer_occ.hh"
 #include "learned/mtl_index.hh"
@@ -45,6 +46,19 @@ class ExmaTable
 
     /** Build everything (suffix array computed once and shared). */
     ExmaTable(const std::vector<Base> &ref, const Config &cfg);
+
+    /**
+     * Prefix-range / segment-mapped build: construct the table over the
+     * concatenation of @p segments' global slices of @p ref (see
+     * core/text_segments.hh). Search intervals are local to that
+     * concatenation; locateAllGlobal() translates located matches back
+     * to global coordinates and drops junction artifacts. This is how
+     * a k-mer-prefix shard — a scattered set of owned positions plus
+     * their query-length context windows — gets an ExmaTable of its
+     * own.
+     */
+    ExmaTable(const std::vector<Base> &ref,
+              std::vector<TextSegment> segments, const Config &cfg);
 
     int k() const { return occ_->k(); }
     u64 rows() const { return occ_->rows(); }
@@ -95,6 +109,25 @@ class ExmaTable
         return fm_->locateAll(iv, limit);
     }
 
+    /** Whether this table was built over a segment map. */
+    bool segmented() const { return !segments_.empty(); }
+
+    /** The segment map (empty for contiguous builds). */
+    const std::vector<TextSegment> &segments() const { return segments_; }
+
+    /**
+     * Global text positions of a search interval's occurrences, sorted
+     * ascending. For a contiguous build this is locateAll + sort; for
+     * a segment-mapped build every occurrence is located, translated
+     * through the segment map, and junction artifacts (matches
+     * spanning the concatenation seam between two segments, which need
+     * @p query_len to detect) are dropped. @p limit then keeps the
+     * lowest @p limit positions — applied after the junction filter,
+     * so artifacts never consume the caller's budget.
+     */
+    std::vector<u64> locateAllGlobal(const Interval &iv, u64 query_len,
+                                     u64 limit = ~u64{0}) const;
+
     /**
      * One recorded k-step iteration of a search, for the trace-driven
      * accelerator timing model: the functional layer computes what is
@@ -140,7 +173,10 @@ class ExmaTable
     SizeReport sizeReport() const;
 
   private:
+    void build(const std::vector<Base> &ref);
+
     Config cfg_;
+    std::vector<TextSegment> segments_; ///< empty for contiguous builds
     std::unique_ptr<FmIndex> fm_;
     std::unique_ptr<KmerOccTable> occ_;
     std::unique_ptr<MtlIndex> mtl_;

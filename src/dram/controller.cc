@@ -173,17 +173,17 @@ ChannelController::evaluate()
             // Page policy: close after this access or keep the row open?
             bool keep_open = false;
             switch (cfg_.page_policy) {
-              case PagePolicy::Open:
-                keep_open = true;
-                break;
-              case PagePolicy::Close:
-                keep_open = false;
-                break;
-              case PagePolicy::Dynamic:
-                // Keep open iff another queued request (beyond this
-                // one) wants the same row.
-                keep_open = rowDemand(c, c.row) > 1;
-                break;
+                case PagePolicy::Open:
+                    keep_open = true;
+                    break;
+                case PagePolicy::Close:
+                    keep_open = false;
+                    break;
+                case PagePolicy::Dynamic:
+                    // Keep open iff another queued request (beyond this
+                    // one) wants the same row.
+                    keep_open = rowDemand(c, c.row) > 1;
+                    break;
             }
 
             const DramCmd cmd = p.req.is_write

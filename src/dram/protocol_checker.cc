@@ -59,84 +59,84 @@ ProtocolChecker::check(const std::vector<CommandRecord> &log) const
         have_last_cmd = true;
 
         switch (r.cmd) {
-          case DramCmd::Act: {
-            if (b.open)
-                violate(i, "act-on-open", "ACT to an open bank");
-            if (r.tick < b.ready_act)
-                violate(i, "tRP/tRC", "ACT before precharge completed");
-            auto &w = faw[c.rank];
-            while (!w.empty() && w.front() + clk(cfg_.tFAW) <= r.tick)
-                w.pop_front();
-            if (w.size() >= 4)
-                violate(i, "tFAW", "5th ACT inside the tFAW window");
-            w.push_back(r.tick);
-            b.open = true;
-            b.row = c.row;
-            b.act = r.tick;
-            b.ready_col = r.tick + clk(cfg_.tRCD);
-            b.ready_pre = r.tick + clk(cfg_.tRAS);
-            b.ready_act = r.tick + clk(cfg_.tRC());
-            break;
-          }
-          case DramCmd::Pre: {
-            if (!b.open)
-                violate(i, "pre-on-closed", "PRE to a closed bank");
-            if (r.tick < b.ready_pre)
-                violate(i, "tRAS/tRTP", "PRE too early");
-            b.open = false;
-            b.ready_act = std::max(b.ready_act, r.tick + clk(cfg_.tRP));
-            break;
-          }
-          case DramCmd::Rd:
-          case DramCmd::RdA:
-          case DramCmd::Wr:
-          case DramCmd::WrA: {
-            const bool is_write =
-                r.cmd == DramCmd::Wr || r.cmd == DramCmd::WrA;
-            if (!b.open)
-                violate(i, "col-on-closed", "column cmd to closed bank");
-            else if (b.row != c.row)
-                violate(i, "row-mismatch", "column cmd to wrong row");
-            if (r.tick < b.ready_col)
-                violate(i, "tRCD", "column cmd before tRCD");
-            const int bg = c.rank * cfg_.bankgroups_per_rank + c.bankgroup;
-            if (have_last_col) {
-                const Tick gap =
-                    clk(bg == last_col_bg ? cfg_.tCCD_L : cfg_.tCCD_S);
-                if (r.tick < last_col + gap)
-                    violate(i, "tCCD", "column commands too close");
+            case DramCmd::Act: {
+                if (b.open)
+                    violate(i, "act-on-open", "ACT to an open bank");
+                if (r.tick < b.ready_act)
+                    violate(i, "tRP/tRC", "ACT before precharge completed");
+                auto &w = faw[c.rank];
+                while (!w.empty() && w.front() + clk(cfg_.tFAW) <= r.tick)
+                    w.pop_front();
+                if (w.size() >= 4)
+                    violate(i, "tFAW", "5th ACT inside the tFAW window");
+                w.push_back(r.tick);
+                b.open = true;
+                b.row = c.row;
+                b.act = r.tick;
+                b.ready_col = r.tick + clk(cfg_.tRCD);
+                b.ready_pre = r.tick + clk(cfg_.tRAS);
+                b.ready_act = r.tick + clk(cfg_.tRC());
+                break;
             }
-            last_col = r.tick;
-            last_col_bg = bg;
-            have_last_col = true;
-
-            const int lane = cfg_.chip_level_parallelism
-                                 ? std::max(c.chip, 0)
-                                 : 0;
-            const Tick data_start =
-                r.tick + clk(is_write ? cfg_.tCWL : cfg_.tCL);
-            auto it = lane_end.find(lane);
-            if (it != lane_end.end() && data_start < it->second)
-                violate(i, "data-bus", "overlapping bursts on a lane");
-            const int burst = cfg_.chip_level_parallelism
-                                  ? cfg_.tBL * cfg_.chips_per_rank
-                                  : cfg_.tBL;
-            lane_end[lane] = data_start + clk(burst);
-
-            if (is_write)
-                b.ready_pre = std::max(
-                    b.ready_pre, data_start + clk(cfg_.tBL + cfg_.tWR));
-            else
-                b.ready_pre =
-                    std::max(b.ready_pre, r.tick + clk(cfg_.tRTP));
-
-            if (r.cmd == DramCmd::RdA || r.cmd == DramCmd::WrA) {
+            case DramCmd::Pre: {
+                if (!b.open)
+                    violate(i, "pre-on-closed", "PRE to a closed bank");
+                if (r.tick < b.ready_pre)
+                    violate(i, "tRAS/tRTP", "PRE too early");
                 b.open = false;
-                b.ready_act = std::max(b.ready_pre + clk(cfg_.tRP),
-                                       b.act + clk(cfg_.tRC()));
+                b.ready_act = std::max(b.ready_act, r.tick + clk(cfg_.tRP));
+                break;
             }
-            break;
-          }
+            case DramCmd::Rd:
+            case DramCmd::RdA:
+            case DramCmd::Wr:
+            case DramCmd::WrA: {
+                const bool is_write =
+                    r.cmd == DramCmd::Wr || r.cmd == DramCmd::WrA;
+                if (!b.open)
+                    violate(i, "col-on-closed", "column cmd to closed bank");
+                else if (b.row != c.row)
+                    violate(i, "row-mismatch", "column cmd to wrong row");
+                if (r.tick < b.ready_col)
+                    violate(i, "tRCD", "column cmd before tRCD");
+                const int bg = c.rank * cfg_.bankgroups_per_rank + c.bankgroup;
+                if (have_last_col) {
+                    const Tick gap =
+                        clk(bg == last_col_bg ? cfg_.tCCD_L : cfg_.tCCD_S);
+                    if (r.tick < last_col + gap)
+                        violate(i, "tCCD", "column commands too close");
+                }
+                last_col = r.tick;
+                last_col_bg = bg;
+                have_last_col = true;
+
+                const int lane = cfg_.chip_level_parallelism
+                                     ? std::max(c.chip, 0)
+                                     : 0;
+                const Tick data_start =
+                    r.tick + clk(is_write ? cfg_.tCWL : cfg_.tCL);
+                auto it = lane_end.find(lane);
+                if (it != lane_end.end() && data_start < it->second)
+                    violate(i, "data-bus", "overlapping bursts on a lane");
+                const int burst = cfg_.chip_level_parallelism
+                                      ? cfg_.tBL * cfg_.chips_per_rank
+                                      : cfg_.tBL;
+                lane_end[lane] = data_start + clk(burst);
+
+                if (is_write)
+                    b.ready_pre = std::max(
+                        b.ready_pre, data_start + clk(cfg_.tBL + cfg_.tWR));
+                else
+                    b.ready_pre =
+                        std::max(b.ready_pre, r.tick + clk(cfg_.tRTP));
+
+                if (r.cmd == DramCmd::RdA || r.cmd == DramCmd::WrA) {
+                    b.open = false;
+                    b.ready_act = std::max(b.ready_pre + clk(cfg_.tRP),
+                                           b.act + clk(cfg_.tRC()));
+                }
+                break;
+            }
         }
     }
     return out;

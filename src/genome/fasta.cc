@@ -32,13 +32,13 @@ bool
 isUnambiguousBase(char c)
 {
     switch (c) {
-      case 'A': case 'a':
-      case 'C': case 'c':
-      case 'G': case 'g':
-      case 'T': case 't':
-        return true;
-      default:
-        return false;
+        case 'A': case 'a':
+        case 'C': case 'c':
+        case 'G': case 'g':
+        case 'T': case 't':
+            return true;
+        default:
+            return false;
     }
 }
 

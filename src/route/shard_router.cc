@@ -1,0 +1,215 @@
+#include "route/shard_router.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace exma {
+
+namespace {
+
+void
+checkQueries(const ShardPlan &plan,
+             const std::vector<std::vector<Base>> &queries)
+{
+    exma_assert(queries.size() <= ~u32{0},
+                "batch of %zu queries exceeds the u32 routing id space",
+                queries.size());
+    for (const auto &q : queries) {
+        exma_assert(!q.empty(), "routed search: empty query");
+        if (plan.boundsQueries())
+            exma_assert(q.size() <= plan.maxQueryLen(),
+                        "routed search: %zu-base query exceeds the "
+                        "plan's max_query_len of %llu — matches could "
+                        "run past a shard's context windows; re-plan "
+                        "with a larger max_query_len",
+                        q.size(),
+                        (unsigned long long)plan.maxQueryLen());
+    }
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
+                         const RouterConfig &cfg)
+    : plan_(plan), cfg_(cfg)
+{
+    exma_assert(plan_.size() > 0, "shard plan holds no shards");
+    exma_assert(plan_.refLength() == ref.size(),
+                "shard plan covers %llu bases but the reference holds "
+                "%zu",
+                (unsigned long long)plan_.refLength(), ref.size());
+
+    const size_t n_shards = plan_.size();
+    segments_.resize(n_shards);
+    for (size_t s = 0; s < n_shards; ++s) {
+        if (plan_.kind() == ShardPlanKind::KmerPrefix) {
+            segments_[s] = plan_.segmentsOf(s);
+        } else {
+            const Shard &sh = plan_.shards()[s];
+            exma_assert(sh.end() <= ref.size(),
+                        "shard '%s' [%llu, %llu) runs past the reference",
+                        sh.name.c_str(), (unsigned long long)sh.begin,
+                        (unsigned long long)sh.end());
+            segments_[s] = {TextSegment{sh.begin, 0, sh.length}};
+        }
+    }
+
+    tables_.resize(n_shards);
+    scan_refs_.resize(n_shards);
+    const auto t0 = std::chrono::steady_clock::now();
+    parallelFor(
+        n_shards, 1,
+        [&](u64 begin, u64 end, unsigned) {
+            for (u64 s = begin; s < end; ++s) {
+                const u64 local = segmentsLocalLength(segments_[s]);
+                if (local == 0)
+                    continue; // empty prefix range: hitless worker
+                if (local < cfg_.min_table_bases)
+                    scan_refs_[s] = extractSegments(ref, segments_[s]);
+                else
+                    tables_[s] = std::make_unique<ExmaTable>(
+                        ref, segments_[s], cfg_.table);
+            }
+        },
+        cfg_.build_threads);
+    const auto t1 = std::chrono::steady_clock::now();
+    build_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+
+    for (size_t s = 0; s < n_shards; ++s)
+        workers_.push_back(std::make_unique<ShardWorker>(
+            plan_.shards()[s].name, tables_[s].get(),
+            scan_refs_[s].empty() ? nullptr : &scan_refs_[s],
+            &segments_[s]));
+}
+
+u64
+ShardRouter::totalLocalBases() const
+{
+    u64 n = 0;
+    for (const auto &segs : segments_)
+        n += segmentsLocalLength(segs);
+    return n;
+}
+
+u64
+ShardRouter::totalRows() const
+{
+    u64 rows = 0;
+    for (const auto &t : tables_)
+        if (t)
+            rows += t->rows();
+    return rows;
+}
+
+RoutedResult
+ShardRouter::search(const std::vector<std::vector<Base>> &queries,
+                    const BatchConfig &cfg) const
+{
+    checkQueries(plan_, queries);
+
+    RoutedResult out;
+    out.queries = queries.size();
+    out.hits.resize(queries.size());
+    out.per_shard.assign(workers_.size(), SearchStats{});
+    for (const auto &q : queries)
+        out.bases += q.size();
+
+    const bool broadcast_only =
+        cfg_.force_broadcast || plan_.kind() != ShardPlanKind::KmerPrefix;
+
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Classify: one id list per shard, and per query the number of
+    // shards serving it (hits from fan-out > 1 need deduplication).
+    std::vector<std::vector<u32>> ids(workers_.size());
+    std::vector<u8> fanout(queries.size(), 0);
+    for (size_t i = 0; i < queries.size(); ++i) {
+        size_t first = 0;
+        size_t last = workers_.size() - 1;
+        if (!broadcast_only) {
+            const PrefixRange r = plan_.queryPrefixRange(
+                queries[i].data(), queries[i].size());
+            std::tie(first, last) = plan_.ownersOfRange(r.lo, r.hi);
+        }
+        for (size_t s = first; s <= last; ++s)
+            ids[s].push_back(static_cast<u32>(i));
+        const size_t n_owners = last - first + 1;
+        fanout[i] = static_cast<u8>(std::min<size_t>(n_owners, 255));
+        if (n_owners == 1)
+            ++out.routed_queries;
+        else
+            ++out.broadcast_queries;
+    }
+
+    // Fan out: every worker with work gets one request on its inbox;
+    // the workers' dedicated threads run concurrently.
+    std::vector<std::future<ShardWorker::Response>> futures(
+        workers_.size());
+    for (size_t s = 0; s < workers_.size(); ++s) {
+        if (ids[s].empty())
+            continue;
+        futures[s] = workers_[s]->submit(
+            {&queries, std::move(ids[s]), cfg});
+    }
+
+    // Merge: single-owner hits move straight in (already sorted and
+    // duplicate-free within one shard); fanned-out queries collect all
+    // owners' hits and dedup below.
+    for (size_t s = 0; s < workers_.size(); ++s) {
+        if (!futures[s].valid())
+            continue;
+        ShardWorker::Response resp = futures[s].get();
+        out.per_shard[s] = resp.stats;
+        for (size_t j = 0; j < resp.ids.size(); ++j) {
+            auto &dst = out.hits[resp.ids[j]];
+            if (dst.empty())
+                dst = std::move(resp.hits[j]);
+            else
+                dst.insert(dst.end(), resp.hits[j].begin(),
+                           resp.hits[j].end());
+        }
+    }
+    // Dedup/cap pass — skipped entirely when every query ran on one
+    // shard and no cap applies (single-shard hits are already sorted
+    // and duplicate-free), which is the routed fast path.
+    if (out.broadcast_queries > 0 || cfg.locate_limit > 0) {
+        const u64 grain = std::max<u64>(cfg.grain, 1);
+        parallelFor(
+            queries.size(), grain,
+            [&](u64 begin, u64 end, unsigned) {
+                for (u64 i = begin; i < end; ++i) {
+                    auto &h = out.hits[i];
+                    if (fanout[i] > 1) {
+                        std::sort(h.begin(), h.end());
+                        h.erase(std::unique(h.begin(), h.end()),
+                                h.end());
+                    }
+                    if (cfg.locate_limit && h.size() > cfg.locate_limit)
+                        h.resize(cfg.locate_limit);
+                }
+            },
+            cfg.threads);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (const SearchStats &s : out.per_shard)
+        out.stats += s;
+    return out;
+}
+
+std::vector<u64>
+ShardRouter::findAll(const std::vector<Base> &query,
+                     SearchStats *stats) const
+{
+    const RoutedResult r = search({query});
+    if (stats)
+        *stats += r.stats;
+    return r.hits.empty() ? std::vector<u64>{} : r.hits[0];
+}
+
+} // namespace exma

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Prefix-routed sharded serving: the front end that makes shard count
+ * buy throughput instead of costing it.
+ *
+ * PR 4's ShardedExmaTable fans every query across every shard, so one
+ * core does shard-count times the work per query. The ShardRouter
+ * instead serves a kmerPrefix ShardPlan: a query's first prefixLen()
+ * bases name the one shard owning every position its matches can start
+ * at, so the router classifies a batch by prefix, hands each
+ * ShardWorker only the queries it owns, and merges the responses with
+ * the same dedup/global-cap machinery ShardedExmaTable uses. Queries
+ * shorter than the routing prefix whose padded code range straddles a
+ * partition boundary fall back to a broadcast across the straddled
+ * shards (their matches' owners all lie in that range).
+ *
+ * Text-partitioned plans are also accepted and served broadcast-only
+ * through the same workers, so routed-vs-broadcast comparisons run on
+ * identical execution machinery.
+ */
+
+#ifndef EXMA_ROUTE_SHARD_ROUTER_HH
+#define EXMA_ROUTE_SHARD_ROUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "route/shard_worker.hh"
+#include "shard/shard_plan.hh"
+
+namespace exma {
+
+struct RouterConfig
+{
+    /** Per-shard table configuration (same k for every shard). */
+    ExmaTable::Config table;
+    /** Shard-build parallelism: 0 = pool width, 1 = serial. */
+    unsigned build_threads = 0;
+    /**
+     * Serve every query via every shard (measurement baseline; also
+     * the only mode text-partitioned plans support).
+     */
+    bool force_broadcast = false;
+    /**
+     * Shards whose searchable text is shorter than this are served by
+     * direct segment scanning instead of an ExmaTable of their own.
+     */
+    u64 min_table_bases = ShardPlan::kMinShardBases;
+};
+
+/** Outcome of one routed batch: index-aligned with the input queries. */
+struct RoutedResult
+{
+    /** Per query: sorted, deduplicated global match positions. */
+    std::vector<std::vector<u64>> hits;
+    SearchStats stats;                  ///< merged across all shards
+    std::vector<SearchStats> per_shard; ///< one per shard, in plan order
+    u64 queries = 0;
+    u64 bases = 0;             ///< total query symbols searched
+    u64 routed_queries = 0;    ///< served by exactly one shard
+    u64 broadcast_queries = 0; ///< served by two or more shards
+    double seconds = 0.0;
+
+    u64
+    totalHits() const
+    {
+        u64 n = 0;
+        for (const auto &h : hits)
+            n += h.size();
+        return n;
+    }
+
+    double
+    mbasesPerSecond() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(bases) / seconds / 1e6
+                   : 0.0;
+    }
+};
+
+class ShardRouter
+{
+  public:
+    /**
+     * Build one worker per shard of @p plan over @p ref: segment-mapped
+     * ExmaTables built pool-parallel for indexable shards, scan workers
+     * for tiny ones, hitless workers for empty prefix ranges.
+     */
+    ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
+                const RouterConfig &cfg);
+
+    size_t shardCount() const { return workers_.size(); }
+    const ShardPlan &plan() const { return plan_; }
+    const RouterConfig &config() const { return cfg_; }
+    const ShardWorker &worker(size_t i) const { return *workers_[i]; }
+
+    /** Wall-clock seconds the (parallel) shard builds took. */
+    double buildSeconds() const { return build_seconds_; }
+
+    /**
+     * Sum of per-shard searchable bases. Prefix shards replicate
+     * context windows, so this exceeds the reference length; the ratio
+     * is the plan's replication factor.
+     */
+    u64 totalLocalBases() const;
+
+    /** Sum of per-shard BW-matrix row counts (indexed shards only). */
+    u64 totalRows() const;
+
+    /**
+     * Classify @p queries by prefix, run each on its owner shard(s)
+     * through the workers, and merge into global positions. Queries
+     * must be non-empty and no longer than plan().maxQueryLen().
+     * cfg.locate_limit applies globally after the merge, as in
+     * ShardedExmaTable::search.
+     */
+    RoutedResult search(const std::vector<std::vector<Base>> &queries,
+                        const BatchConfig &cfg = {}) const;
+
+    /** One query: sorted global match positions; stats merged if given. */
+    std::vector<u64> findAll(const std::vector<Base> &query,
+                             SearchStats *stats = nullptr) const;
+
+  private:
+    ShardPlan plan_;
+    RouterConfig cfg_;
+    /** Per-shard segment maps (single whole-shard segment for text
+     *  plans), referenced by tables, scan workers and translation. */
+    std::vector<std::vector<TextSegment>> segments_;
+    std::vector<std::unique_ptr<ExmaTable>> tables_;
+    std::vector<std::vector<Base>> scan_refs_;
+    std::vector<std::unique_ptr<ShardWorker>> workers_;
+    double build_seconds_ = 0.0;
+};
+
+} // namespace exma
+
+#endif // EXMA_ROUTE_SHARD_ROUTER_HH

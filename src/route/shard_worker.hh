@@ -1,0 +1,104 @@
+/**
+ * @file
+ * One shard's execution engine behind a message-passing seam: a
+ * ShardWorker owns a dedicated ThreadPool thread whose task queue is
+ * the worker's inbox. Callers submit a Request (a view of a shared
+ * query batch plus the ids this shard should serve) and get a
+ * completion future; the worker thread drains its inbox in order and
+ * fulfils each future with translated global hit positions.
+ *
+ * The shape is deliberately that of an RPC endpoint — request in,
+ * response out, no shared mutable state beyond the immutable shard
+ * data — so a later PR can move workers out-of-process (the EXMA
+ * paper's channels are physically separate DIMMs; FindeR's banks are
+ * independent rank engines) by serialising Request/Response instead of
+ * passing pointers.
+ */
+
+#ifndef EXMA_ROUTE_SHARD_WORKER_HH
+#define EXMA_ROUTE_SHARD_WORKER_HH
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "batch/batch_searcher.hh"
+#include "common/thread_pool.hh"
+#include "core/exma_table.hh"
+
+namespace exma {
+
+class ShardWorker
+{
+  public:
+    /** One unit of inbox work: serve @p ids out of a shared batch. */
+    struct Request
+    {
+        /** Shared query batch; must outlive the completion future. */
+        const std::vector<std::vector<Base>> *queries = nullptr;
+        /** Indices into *queries this shard serves. */
+        std::vector<u32> ids;
+        /** Per-request search knobs (threads are forced to 1: the
+         *  worker's parallelism is the worker, cross-shard). */
+        BatchConfig cfg;
+    };
+
+    /** Outcome, index-aligned with Request::ids. */
+    struct Response
+    {
+        std::vector<u32> ids;
+        /** Global match positions per id, sorted ascending. Within one
+         *  shard a global position occurs at most once (segment maps
+         *  never overlap themselves), so no per-shard dedup is run. */
+        std::vector<std::vector<u64>> hits;
+        SearchStats stats;
+        double seconds = 0.0; ///< worker-side wall clock for the batch
+    };
+
+    /**
+     * @param name      shard name (diagnostics).
+     * @param table     the shard's segment-mapped ExmaTable, or null
+     *                  when the shard is too small to index.
+     * @param scan_ref  extracted local reference for table-less shards
+     *                  (served by direct scanning), or null.
+     * @param segments  the shard's segment map; may be empty/null only
+     *                  with both @p table and @p scan_ref null — an
+     *                  empty shard, which answers every query with no
+     *                  hits.
+     */
+    ShardWorker(std::string name, const ExmaTable *table,
+                const std::vector<Base> *scan_ref,
+                const std::vector<TextSegment> *segments);
+
+    ShardWorker(const ShardWorker &) = delete;
+    ShardWorker &operator=(const ShardWorker &) = delete;
+
+    /** Enqueue a request on the inbox; resolves when the worker thread
+     *  has served it. Requests are served in submission order. */
+    std::future<Response> submit(Request req);
+
+    const std::string &name() const { return name_; }
+    bool hasTable() const { return table_ != nullptr; }
+    bool isEmpty() const { return table_ == nullptr && scan_ref_ == nullptr; }
+
+    /** Requests served so far (monotonic). */
+    u64 processed() const { return processed_.load(std::memory_order_relaxed); }
+
+  private:
+    Response process(const Request &req);
+    void scanQuery(const std::vector<Base> &query,
+                   std::vector<u64> &hits) const;
+
+    std::string name_;
+    const ExmaTable *table_;
+    const std::vector<Base> *scan_ref_;
+    const std::vector<TextSegment> *segments_;
+    std::atomic<u64> processed_{0};
+    /** The dedicated thread; its task deque is the inbox queue. */
+    ThreadPool inbox_{1};
+};
+
+} // namespace exma
+
+#endif // EXMA_ROUTE_SHARD_WORKER_HH

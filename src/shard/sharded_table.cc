@@ -42,6 +42,10 @@ ShardedExmaTable::ShardedExmaTable(const std::vector<Base> &ref,
     : plan_(plan), cfg_(cfg)
 {
     exma_assert(plan_.size() > 0, "shard plan holds no shards");
+    exma_assert(plan_.kind() == ShardPlanKind::Text,
+                "ShardedExmaTable serves text-partitioned plans; "
+                "k-mer-prefix plans are served by ShardRouter "
+                "(src/route/)");
     exma_assert(plan_.refLength() == ref.size(),
                 "shard plan covers %llu bases but the reference holds "
                 "%zu",

@@ -218,5 +218,87 @@ TEST(BatchSearcher, CountsBases)
     EXPECT_GE(r.seconds, 0.0);
 }
 
+TEST(BatchSearcher, SubsetSearchAlignsResultsWithIds)
+{
+    // The routed fan-out path: a shard worker serves only its ids out
+    // of a shared batch, results index-aligned with the id list.
+    const auto qs = randomQueries(60, 9);
+    BatchConfig cfg;
+    cfg.locate = true;
+    cfg.per_query_stats = true;
+    const BatchSearcher searcher(mtlTable(), cfg);
+    const BatchResult full = searcher.search(qs);
+
+    // Scattered, unordered, with a duplicate.
+    const std::vector<u32> ids = {57, 3, 3, 41, 0, 12, 59, 28};
+    const BatchResult sub = searcher.search(qs, ids);
+    ASSERT_EQ(sub.queries, ids.size());
+    ASSERT_EQ(sub.intervals.size(), ids.size());
+    ASSERT_EQ(sub.positions.size(), ids.size());
+    u64 bases = 0;
+    for (size_t j = 0; j < ids.size(); ++j) {
+        EXPECT_EQ(sub.intervals[j], full.intervals[ids[j]]) << "j=" << j;
+        EXPECT_EQ(sub.positions[j], full.positions[ids[j]]) << "j=" << j;
+        EXPECT_EQ(sub.per_query[j], full.per_query[ids[j]]) << "j=" << j;
+        bases += qs[ids[j]].size();
+    }
+    EXPECT_EQ(sub.bases, bases);
+
+    // Per-id stats sum to the subset total.
+    SearchStats merged;
+    for (const SearchStats &s : sub.per_query)
+        merged += s;
+    EXPECT_EQ(merged, sub.stats);
+}
+
+TEST(BatchSearcher, SubsetSearchEmptyIds)
+{
+    const auto qs = randomQueries(10, 21);
+    const BatchResult r = BatchSearcher(mtlTable()).search(qs, {});
+    EXPECT_EQ(r.queries, 0u);
+    EXPECT_TRUE(r.intervals.empty());
+    EXPECT_EQ(r.stats, SearchStats{});
+}
+
+TEST(BatchSearcher, SegmentedTableLocatesGlobalPositions)
+{
+    // A two-segment sub-reference: BatchSearcher's locate path must
+    // report translated global coordinates with junction artifacts
+    // dropped (ExmaTable::locateAllGlobal), not local positions.
+    const auto &ref = testRef();
+    const std::vector<TextSegment> segs = {
+        {100, 0, 400}, {5000, 400, 400}};
+    const ExmaTable seg_table(ref, segs, cfgFor(OccIndexMode::Exact));
+    ASSERT_TRUE(seg_table.segmented());
+    const ExmaTable &whole = mtlTable();
+
+    // Queries sampled inside each segment: every hit the segmented
+    // table reports must be a genuine whole-reference hit, and the
+    // planted position must be among them.
+    Rng rng(4);
+    for (int rep = 0; rep < 30; ++rep) {
+        const u64 len = 8 + rng.below(12);
+        const TextSegment &seg = segs[rep % 2];
+        const u64 pos = seg.global_begin + rng.below(seg.length - len);
+        const std::vector<Base> q(
+            ref.begin() + static_cast<std::ptrdiff_t>(pos),
+            ref.begin() + static_cast<std::ptrdiff_t>(pos + len));
+        BatchConfig cfg;
+        cfg.locate = true;
+        const BatchResult r = BatchSearcher(seg_table, cfg).search({q});
+        auto expect = whole.locateAll(whole.search(q));
+        std::sort(expect.begin(), expect.end());
+        // Subset of the whole-reference hit set...
+        EXPECT_TRUE(std::includes(expect.begin(), expect.end(),
+                                  r.positions[0].begin(),
+                                  r.positions[0].end()))
+            << "rep " << rep;
+        // ...containing the planted occurrence.
+        EXPECT_TRUE(std::binary_search(r.positions[0].begin(),
+                                       r.positions[0].end(), pos))
+            << "rep " << rep;
+    }
+}
+
 } // namespace
 } // namespace exma

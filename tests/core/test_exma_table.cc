@@ -172,5 +172,48 @@ TEST(ExmaTable, DifferentStepsAgree)
     }
 }
 
+TEST(ExmaTable, SegmentedBuildDropsJunctionArtifacts)
+{
+    // ref = AAAA CCCC TTTT GGGG; segments extract AAAA + GGGG, whose
+    // concatenation "AAAAGGGG" contains "AG" — a string that never
+    // occurs in the reference. The local search interval sees it; the
+    // global locate must not.
+    const std::vector<Base> ref = {0, 0, 0, 0, 1, 1, 1, 1,
+                                   3, 3, 3, 3, 2, 2, 2, 2};
+    const std::vector<TextSegment> segs = {{0, 0, 4}, {12, 4, 4}};
+    const ExmaTable tab(ref, segs, cfgFor(OccIndexMode::Exact));
+    ASSERT_TRUE(tab.segmented());
+    ASSERT_EQ(tab.segments(), segs);
+
+    const std::vector<Base> junction = {0, 2}; // "AG"
+    const Interval iv = tab.search(junction);
+    EXPECT_EQ(iv.count(), 1u) << "local junction match should exist";
+    EXPECT_TRUE(tab.locateAllGlobal(iv, junction.size()).empty());
+
+    // Genuine matches translate to global coordinates.
+    const std::vector<Base> aaa = {0, 0, 0}; // "AAA" at 0, 1
+    EXPECT_EQ(tab.locateAllGlobal(tab.search(aaa), aaa.size()),
+              (std::vector<u64>{0, 1}));
+    const std::vector<Base> gg = {2, 2}; // "GG" at 12, 13, 14
+    EXPECT_EQ(tab.locateAllGlobal(tab.search(gg), gg.size()),
+              (std::vector<u64>{12, 13, 14}));
+    // The cap keeps the lowest global positions, applied after the
+    // junction filter.
+    EXPECT_EQ(tab.locateAllGlobal(tab.search(gg), gg.size(), 2),
+              (std::vector<u64>{12, 13}));
+}
+
+TEST(ExmaTable, ContiguousTableLocateAllGlobalIsSortedLocate)
+{
+    ExmaTable tab(testRef(), cfgFor(OccIndexMode::Exact));
+    EXPECT_FALSE(tab.segmented());
+    const auto &ref = testRef();
+    const std::vector<Base> q(ref.begin() + 500, ref.begin() + 512);
+    const Interval iv = tab.search(q);
+    auto expect = tab.locateAll(iv);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(tab.locateAllGlobal(iv, q.size()), expect);
+}
+
 } // namespace
 } // namespace exma
