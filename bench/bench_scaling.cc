@@ -43,6 +43,8 @@ std::vector<unsigned>
 shardSweep()
 {
     std::vector<unsigned> counts;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup,
+    // before any worker thread exists; nothing writes the env.
     const char *env = std::getenv("EXMA_SHARDS");
     std::string spec = env && *env ? env : "1,2,4,8";
     size_t pos = 0;

@@ -147,6 +147,8 @@ jsonDestination(int &argc, char **argv)
     }
     argc = w;
     if (path.empty()) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup,
+        // before any worker thread exists; nothing writes the env.
         const char *env = std::getenv("EXMA_BENCH_JSON");
         if (env && *env)
             path = env;
@@ -192,6 +194,8 @@ double
 scale()
 {
     static const double s = [] {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): once, inside a
+        // static initializer; no concurrent env mutation.
         const char *env = std::getenv("EXMA_BENCH_SCALE");
         if (!env)
             return 0.25;
@@ -219,6 +223,8 @@ fastaRecords()
 {
     static const std::vector<FastaRecord> records = [] {
         std::vector<FastaRecord> out;
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): once, inside a
+        // static initializer; no concurrent env mutation.
         const char *path = std::getenv("EXMA_REF_FASTA");
         if (!path || !*path)
             return out;

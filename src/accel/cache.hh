@@ -3,6 +3,15 @@
  * Set-associative LRU cache model used for the accelerator's base
  * cache (1 MB, 8-way eDRAM) and index cache (32 KB, 16-way SRAM) —
  * Table I.
+ *
+ * Thread-safety analysis audit (PR 6): SetAssocCache is a cycle-level
+ * model owned by a single Accelerator and advanced by the
+ * single-threaded EventQueue, so it deliberately has no guarded state
+ * — even probe() mutates nothing but access() is not safe to share.
+ * If a future serving-tier result cache reuses this class across
+ * threads, wrap the mutable members (lines_/tick_/hits_/misses_) in an
+ * exma::Mutex with EXMA_GUARDED_BY (common/thread_annotations.hh);
+ * tools/lint/exma_lint.py rejects a bare std::mutex here.
  */
 
 #ifndef EXMA_ACCEL_CACHE_HH

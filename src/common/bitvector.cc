@@ -39,8 +39,11 @@ BitVector::buildRank()
 u64
 BitVector::rank1(u64 i) const
 {
-    exma_assert(i <= n_bits_, "rank index %llu out of range %llu",
-                (unsigned long long)i, (unsigned long long)n_bits_);
+    // Hot path (every locate step resolves through here): Debug-only,
+    // like get() — construction-time checks in set()/buildRank() keep
+    // exma_assert.
+    exma_dassert(i <= n_bits_, "rank index %llu out of range %llu",
+                 (unsigned long long)i, (unsigned long long)n_bits_);
     const u64 word = i >> 6;
     const u64 block = word >> 3;
     u64 r = super_[block];

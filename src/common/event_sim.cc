@@ -1,5 +1,7 @@
 #include "common/event_sim.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace exma {
@@ -9,18 +11,21 @@ EventQueue::schedule(Tick when, Callback fn)
 {
     exma_assert(when >= now_, "scheduling into the past: %llu < %llu",
                 (unsigned long long)when, (unsigned long long)now_);
-    pq_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool
 EventQueue::step()
 {
-    if (pq_.empty())
+    if (heap_.empty())
         return false;
-    // priority_queue::top() returns a const ref; move out via const_cast
-    // is UB, so copy the callback handle (cheap: std::function).
-    Event ev = pq_.top();
-    pq_.pop();
+    // pop_heap parks the earliest event in back(); moving from there
+    // is safe and skips the per-event std::function copy that
+    // priority_queue::top()'s const ref used to force.
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
     now_ = ev.when;
     ev.fn();
     return true;
@@ -37,7 +42,7 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!pq_.empty() && pq_.top().when <= limit)
+    while (!heap_.empty() && heap_.front().when <= limit)
         step();
     if (now_ < limit)
         now_ = limit;

@@ -13,7 +13,6 @@
 #define EXMA_COMMON_EVENT_SIM_HH
 
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -44,10 +43,10 @@ class EventQueue
     }
 
     /** True if no events remain. */
-    bool empty() const { return pq_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /** Number of pending events. */
-    size_t pending() const { return pq_.size(); }
+    size_t pending() const { return heap_.size(); }
 
     /** Run until the queue drains. Returns the final time. */
     Tick run();
@@ -79,7 +78,15 @@ class EventQueue
 
     Tick now_ = 0;
     u64 next_seq_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> pq_;
+    /**
+     * Min-heap on (when, seq) maintained with std::push_heap/pop_heap
+     * rather than std::priority_queue: top() of a priority_queue is
+     * const, so extracting an event meant either copying its
+     * std::function (a heap allocation per event) or a const_cast
+     * move-out (UB). pop_heap parks the minimum in back(), where it is
+     * legitimately mutable and can be moved from.
+     */
+    std::vector<Event> heap_;
 };
 
 } // namespace exma

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Clang thread-safety analysis support: the EXMA_* capability macro set
+ * and an annotated mutex/lock pair used by every class with shared
+ * mutable state (ThreadPool, parallelFor's LoopState, ...).
+ *
+ * With Clang and -Wthread-safety the compiler proves, per translation
+ * unit, that every read/write of an EXMA_GUARDED_BY member happens with
+ * its mutex held — an unguarded access is a build break in the clang CI
+ * leg (which adds -Werror), before a single test interleaving runs.
+ * Under GCC and other compilers every macro expands to nothing, so the
+ * annotations are zero-cost everywhere and never gate portability.
+ *
+ * Conventions:
+ *  - shared mutable members are declared with EXMA_GUARDED_BY(mtx_);
+ *  - locking is via exma::Mutex + scoped exma::MutexLock, never a bare
+ *    std::mutex (tools/lint/exma_lint.py enforces this tree-wide);
+ *  - condition variables wait on MutexLock::native() with an explicit
+ *    `while (!predicate) cv.wait(...)` loop, so the predicate reads are
+ *    analysed in the annotated function body itself;
+ *  - helper functions that assume a held lock are annotated
+ *    EXMA_REQUIRES(mtx_) instead of re-locking.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef EXMA_COMMON_THREAD_ANNOTATIONS_HH
+#define EXMA_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__)
+#define EXMA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EXMA_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Marks a class as a lockable capability (mutexes). */
+#define EXMA_CAPABILITY(x) EXMA_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in its dtor. */
+#define EXMA_SCOPED_CAPABILITY EXMA_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be accessed while holding the given capability. */
+#define EXMA_GUARDED_BY(x) EXMA_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be accessed while holding the given capability. */
+#define EXMA_PT_GUARDED_BY(x) EXMA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function acquires the capability (and must not already hold it). */
+#define EXMA_ACQUIRE(...) \
+    EXMA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability (and must hold it on entry). */
+#define EXMA_RELEASE(...) \
+    EXMA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function tries to acquire; first argument is the success value. */
+#define EXMA_TRY_ACQUIRE(...) \
+    EXMA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must hold the capability for the duration of the call. */
+#define EXMA_REQUIRES(...) \
+    EXMA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock prevention). */
+#define EXMA_EXCLUDES(...) EXMA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (no acquire). */
+#define EXMA_ASSERT_CAPABILITY(x) EXMA_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define EXMA_RETURN_CAPABILITY(x) EXMA_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: skip analysis for one function (rationale required). */
+#define EXMA_NO_THREAD_SAFETY_ANALYSIS \
+    EXMA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace exma {
+
+/**
+ * std::mutex with the capability annotation the analysis needs. Same
+ * size and cost as std::mutex; the class exists only so EXMA_GUARDED_BY
+ * members have a named capability to reference.
+ */
+class EXMA_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() EXMA_ACQUIRE() { mtx_.lock(); }
+    void unlock() EXMA_RELEASE() { mtx_.unlock(); }
+    bool try_lock() EXMA_TRY_ACQUIRE(true) { return mtx_.try_lock(); }
+
+    /**
+     * The wrapped std::mutex, for std::condition_variable plumbing via
+     * MutexLock::native(). Lock/unlock through the wrapper, never
+     * through this reference, or the analysis loses track.
+     */
+    std::mutex &native() { return mtx_; }
+
+  private:
+    std::mutex mtx_;
+};
+
+/**
+ * Scoped lock over an exma::Mutex (the std::lock_guard/unique_lock of
+ * this codebase). Exposes the underlying std::unique_lock so condition
+ * variables can wait while the analysis still tracks the capability as
+ * held across the wait — which matches the invariant the wait loop
+ * re-establishes before touching guarded state.
+ */
+class EXMA_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) EXMA_ACQUIRE(m) : lock_(m.native()) {}
+    ~MutexLock() EXMA_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** For std::condition_variable::wait only. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_THREAD_ANNOTATIONS_HH

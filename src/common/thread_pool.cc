@@ -25,7 +25,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        MutexLock lock(mtx_);
         stop_ = true;
     }
     task_ready_.notify_all();
@@ -37,7 +37,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mtx_);
+        MutexLock lock(mtx_);
         tasks_.push_back(std::move(task));
         ++unfinished_;
     }
@@ -47,8 +47,12 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mtx_);
-    idle_.wait(lock, [this] { return unfinished_ == 0; });
+    // Explicit wait loops (rather than the predicate-lambda overload)
+    // keep the guarded reads inside the annotated function body, where
+    // -Wthread-safety analyses them against the held MutexLock.
+    MutexLock lock(mtx_);
+    while (unfinished_ != 0)
+        idle_.wait(lock.native());
 }
 
 void
@@ -57,9 +61,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mtx_);
-            task_ready_.wait(lock,
-                             [this] { return stop_ || !tasks_.empty(); });
+            MutexLock lock(mtx_);
+            while (!stop_ && tasks_.empty())
+                task_ready_.wait(lock.native());
             if (tasks_.empty())
                 return; // stop_ and drained
             task = std::move(tasks_.front());
@@ -67,7 +71,7 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> lock(mtx_);
+            MutexLock lock(mtx_);
             --unfinished_;
         }
         idle_.notify_all();
@@ -95,10 +99,10 @@ struct LoopState
     const std::function<void(u64, u64, unsigned)> *fn = nullptr;
 
     std::atomic<u64> next{0};
-    std::mutex mtx;
+    Mutex mtx;
     std::condition_variable done_cv;
-    u64 completed_chunks = 0;       ///< guarded by mtx
-    std::exception_ptr first_error; ///< guarded by mtx
+    u64 completed_chunks EXMA_GUARDED_BY(mtx) = 0;
+    std::exception_ptr first_error EXMA_GUARDED_BY(mtx);
 
     /** Claim and run chunks until the cursor is exhausted. */
     void
@@ -112,13 +116,13 @@ struct LoopState
             try {
                 (*fn)(begin, end, slot);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 if (!first_error)
                     first_error = std::current_exception();
             }
             bool last = false;
             {
-                std::lock_guard<std::mutex> lock(mtx);
+                MutexLock lock(mtx);
                 last = ++completed_chunks == total_chunks;
             }
             if (last)
@@ -129,9 +133,17 @@ struct LoopState
     void
     waitDone()
     {
-        std::unique_lock<std::mutex> lock(mtx);
-        done_cv.wait(lock,
-                     [this] { return completed_chunks == total_chunks; });
+        MutexLock lock(mtx);
+        while (completed_chunks != total_chunks)
+            done_cv.wait(lock.native());
+    }
+
+    /** First chunk error, read under the lock once the loop is done. */
+    std::exception_ptr
+    takeError() EXMA_EXCLUDES(mtx)
+    {
+        MutexLock lock(mtx);
+        return first_error;
     }
 };
 
@@ -157,8 +169,8 @@ runLoop(ThreadPool &pool, u64 n, u64 grain,
 
     state->participate(0);
     state->waitDone();
-    if (state->first_error)
-        std::rethrow_exception(state->first_error);
+    if (auto err = state->takeError())
+        std::rethrow_exception(err);
 }
 
 } // namespace

@@ -19,10 +19,10 @@
 #include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace exma {
@@ -77,12 +77,12 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> tasks_;
-    std::mutex mtx_;
+    Mutex mtx_;
     std::condition_variable task_ready_;
     std::condition_variable idle_;
-    u64 unfinished_ = 0; ///< queued + running tasks
-    bool stop_ = false;
+    std::deque<std::function<void()>> tasks_ EXMA_GUARDED_BY(mtx_);
+    u64 unfinished_ EXMA_GUARDED_BY(mtx_) = 0; ///< queued + running tasks
+    bool stop_ EXMA_GUARDED_BY(mtx_) = false;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 #include "common/logging.hh"
 
@@ -119,8 +120,17 @@ saIs(const u32 *s, SaIndex *sa, u32 n, u32 sigma)
             sa[--j] = sa[i];
 
     // Stage 2: recurse on the reduced string if names are not unique.
+    // SA-IS reuses the tail of the output buffer as scratch for the
+    // reduced string — s1 aliases sa[n-n1, n) by design (that reuse is
+    // what makes the algorithm O(n) extra space). The u32 view of
+    // SaIndex storage is only legal because they are the same type; if
+    // SaIndex ever widens (e.g. to u64 for >4 Gbp references) this
+    // must become a separate reduced-string buffer, not a cast.
+    static_assert(std::is_same_v<SaIndex, u32>,
+                  "saIs reuses the SaIndex output buffer as u32 "
+                  "reduced-string storage; the types must be identical");
     SaIndex *sa1 = sa;
-    u32 *s1 = reinterpret_cast<u32 *>(sa) + n - n1;
+    u32 *s1 = sa + n - n1;
     if (name < n1) {
         saIs(s1, sa1, n1, name);
     } else {

@@ -17,6 +17,14 @@
  * Text-partitioned plans are also accepted and served broadcast-only
  * through the same workers, so routed-vs-broadcast comparisons run on
  * identical execution machinery.
+ *
+ * Thread-safety analysis: search() is const and keeps all cross-thread
+ * traffic inside annotated machinery — requests ride the workers'
+ * annotated inbox queues, responses come back through futures, and the
+ * merge writes out.hits on the calling thread only (the dedup/cap
+ * parallelFor touches disjoint queries per chunk). The router itself
+ * therefore has no EXMA_GUARDED_BY state; new mutable members (e.g. a
+ * hot-k-mer result cache) must bring an exma::Mutex and annotations.
  */
 
 #ifndef EXMA_ROUTE_SHARD_ROUTER_HH

@@ -13,6 +13,14 @@
  * paper's channels are physically separate DIMMs; FindeR's banks are
  * independent rank engines) by serialising Request/Response instead of
  * passing pointers.
+ *
+ * Thread-safety analysis: the worker's only mutable shared state is
+ * the inbox queue — the annotated deque inside ThreadPool (see
+ * common/thread_annotations.hh) — and the lock-free processed_
+ * counter. Everything else the worker touches (table_, scan_ref_,
+ * segments_) is immutable after construction, so there is nothing
+ * here for EXMA_GUARDED_BY to guard; keep it that way when extending
+ * the worker, or route new mutable state through an exma::Mutex.
  */
 
 #ifndef EXMA_ROUTE_SHARD_WORKER_HH

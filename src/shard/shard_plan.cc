@@ -1,6 +1,7 @@
 #include "shard/shard_plan.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -216,7 +217,7 @@ ShardPlan::perRecord(const std::vector<RecordSpan> &records)
     // A tiny trailing shard folds backwards instead.
     if (plan.shards_.size() >= 2 &&
         plan.shards_.back().length < kMinShardBases) {
-        Shard tail = plan.shards_.back();
+        Shard tail = std::move(plan.shards_.back());
         plan.shards_.pop_back();
         plan.shards_.back().length += tail.length;
         plan.shards_.back().name += "+" + tail.name;

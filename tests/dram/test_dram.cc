@@ -291,7 +291,7 @@ TEST(Dram, DependentChainUnderutilisesBandwidth)
     // traffic saturates it.
     auto chain_util = [&] {
         EventQueue eq;
-        DramSystem *mem = new DramSystem(eq, smallConfig(PagePolicy::Close));
+        DramSystem mem(eq, smallConfig(PagePolicy::Close));
         Rng rng(10);
         int remaining = 300;
         std::function<void(Tick)> next = [&](Tick) {
@@ -303,13 +303,11 @@ TEST(Dram, DependentChainUnderutilisesBandwidth)
                               static_cast<int>(rng.below(2)),
                               rng.below(4096), rng.below(32));
             req.on_complete = next;
-            mem->accessCoord(std::move(req));
+            mem.accessCoord(std::move(req));
         };
         next(0);
         eq.run();
-        double util = mem->bandwidthUtilization();
-        delete mem;
-        return util;
+        return mem.bandwidthUtilization();
     };
     auto flood_util = [&] {
         EventQueue eq;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deliberate thread-safety violations, used to prove the
+ * -Wthread-safety gate actually fails the build.
+ *
+ * This file is never linked into any target. CTest compiles it two
+ * ways (see tests/CMakeLists.txt):
+ *  - static.thread_safety_fixture_is_valid_cpp: plain -fsyntax-only on
+ *    every compiler must succeed — the violations below are valid C++,
+ *    so a failure of the next test can only come from the analysis;
+ *  - static.thread_safety_unguarded_access_fails (Clang only):
+ *    -fsyntax-only -Wthread-safety -Werror must FAIL (the test is
+ *    registered WILL_FAIL), demonstrating that an unguarded access to
+ *    EXMA_GUARDED_BY state is a build break in the clang CI leg.
+ *
+ * Keep at least one violation of each class the serving tier relies
+ * on: unguarded write, unguarded read, and lock-without-release.
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Counter
+{
+  public:
+    // VIOLATION: writes value_ without holding mtx_.
+    void bumpUnguarded() { ++value_; }
+
+    // VIOLATION: reads value_ without holding mtx_.
+    long readUnguarded() const { return value_; }
+
+    // VIOLATION: acquires mtx_ and returns without releasing it.
+    void
+    lockLeak()
+    {
+        mtx_.lock();
+        ++value_;
+    }
+
+    // Correct form, for contrast: this must not warn.
+    void
+    bumpGuarded()
+    {
+        exma::MutexLock lock(mtx_);
+        ++value_;
+    }
+
+  private:
+    mutable exma::Mutex mtx_;
+    long value_ EXMA_GUARDED_BY(mtx_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Counter c;
+    c.bumpUnguarded();
+    c.lockLeak();
+    c.bumpGuarded();
+    return static_cast<int>(c.readUnguarded());
+}
