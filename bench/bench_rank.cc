@@ -10,14 +10,18 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <vector>
 
 #include "bench_gbench_main.hh"
 #include "common/branchless.hh"
 #include "common/rng.hh"
+#include "core/exma_table.hh"
 #include "fmindex/packed_rank.hh"
 #include "fmindex/suffix_array.hh"
 #include "genome/reference.hh"
+#include "io/format.hh"
+#include "io/index_io.hh"
 
 namespace {
 
@@ -178,6 +182,75 @@ BENCHMARK(BM_BranchlessLowerBound)
     ->Arg(64)
     ->Arg(4096)
     ->Arg(1 << 16);
+
+// ---------------------------------------------------------------------------
+// Persistent-index IO: serialize / mmap-load a 1 Mbp ExmaTable's
+// companion files (.exma.occ/.sa/.pac). The load number is the per-
+// restart cost the persistent format reduces table rebuilds to; the
+// save number is the one-time build-step cost.
+// ---------------------------------------------------------------------------
+
+/** A small table worth saving (Exact mode: IO cost, not training). */
+const ExmaTable &
+microTable()
+{
+    static const ExmaTable table = [] {
+        ReferenceSpec spec;
+        spec.length = 1 << 20;
+        spec.seed = 3;
+        ExmaTable::Config cfg;
+        cfg.k = 6;
+        cfg.mode = OccIndexMode::Exact;
+        return ExmaTable(generateReference(spec), cfg);
+    }();
+    return table;
+}
+
+std::string
+microStem()
+{
+    static const std::string stem = [] {
+        const std::filesystem::path dir =
+            std::filesystem::temp_directory_path() / "exma_bench_rank";
+        std::filesystem::create_directories(dir);
+        return (dir / "table").string();
+    }();
+    return stem;
+}
+
+void
+BM_TableFilesSave(benchmark::State &state)
+{
+    const ExmaTable &table = microTable();
+    for (auto _ : state)
+        saveTableFiles(table, microStem());
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            std::filesystem::file_size(microStem() + kExtOcc) +
+            std::filesystem::file_size(microStem() + kExtSa) +
+            std::filesystem::file_size(microStem() + kExtPac)));
+}
+BENCHMARK(BM_TableFilesSave);
+
+void
+BM_TableFilesLoad(benchmark::State &state)
+{
+    saveTableFiles(microTable(), microStem());
+    const int64_t bytes = static_cast<int64_t>(
+        std::filesystem::file_size(microStem() + kExtOcc) +
+        std::filesystem::file_size(microStem() + kExtSa) +
+        std::filesystem::file_size(microStem() + kExtPac));
+    for (auto _ : state) {
+        const LoadedExmaTable loaded = loadTableFiles(microStem());
+        benchmark::DoNotOptimize(loaded.table->rows());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            bytes);
+}
+BENCHMARK(BM_TableFilesLoad);
 
 } // namespace
 

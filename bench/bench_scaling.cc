@@ -25,12 +25,16 @@
 #include "bench_util.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 
 #include "batch/batch_searcher.hh"
 #include "common/thread_pool.hh"
+#include "io/format.hh"
+#include "io/index_io.hh"
 #include "route/shard_router.hh"
 #include "shard/sharded_table.hh"
 
@@ -284,5 +288,74 @@ main(int argc, char **argv)
                  "reference length — the price of term-partitioned "
                  "placement. Broadcast numbers repeat the shard sweep "
                  "above for side-by-side reading.)\n";
+
+    // ------------------------------------------------------------------
+    // Index persistence: save the monolithic table's .exma.* companion
+    // files once, mmap-load them back, and record load-vs-build cost.
+    // With EXMA_INDEX_DIR naming an already-populated directory (CI
+    // restores one from cache), the save is skipped and the bench
+    // measures the load path alone — starting a worker from files
+    // instead of rebuilding.
+    // ------------------------------------------------------------------
+    bench::banner("Index persistence",
+                  "persistent .exma.* save + mmap load (human dataset)");
+
+    const double table_build_s =
+        bench::exmaBuildSeconds("human", OccIndexMode::Mtl);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once; nothing writes.
+    const char *index_env = std::getenv("EXMA_INDEX_DIR");
+    const std::string index_dir =
+        index_env && *index_env ? index_env : "bench_scaling_index";
+    double index_save_s = 0.0;
+    if (!std::filesystem::exists(std::filesystem::path(index_dir) /
+                                 kManifestName)) {
+        const auto t0 = std::chrono::steady_clock::now();
+        saveIndex(table, ds.ref, index_dir);
+        index_save_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+    }
+    const LoadedIndex loaded = loadIndex(index_dir);
+    const double index_load_s = loaded.load_seconds;
+    const double load_ratio =
+        table_build_s > 0.0 ? index_load_s / table_build_s : 0.0;
+
+    // Differential: the loaded index (whatever its layout) must serve
+    // the ground-truth hit set of the freshly built table.
+    std::vector<std::vector<u64>> loaded_hits;
+    if (loaded.kind == IndexKind::Mono) {
+        loaded_hits.reserve(queries.size());
+        for (const auto &q : queries)
+            loaded_hits.push_back(loaded.table->locateAllGlobal(
+                loaded.table->search(q), q.size()));
+    } else if (loaded.kind == IndexKind::ShardedText) {
+        loaded_hits = loaded.sharded->search(queries).hits;
+    } else {
+        loaded_hits = loaded.router->search(queries).hits;
+    }
+    const bool load_match = loaded_hits == expect_hits;
+
+    bench::note("table_build_s", table_build_s);
+    bench::note("index_save_s", index_save_s);
+    bench::note("index_load_s", index_load_s);
+    bench::note("index_load_ratio", load_ratio);
+    TextTable it;
+    it.header({"table_build_s", "index_save_s", "index_load_s", "ratio",
+               "match"});
+    it.row({TextTable::num(table_build_s, 3),
+            TextTable::num(index_save_s, 3),
+            TextTable::num(index_load_s, 4),
+            TextTable::num(load_ratio, 4), load_match ? "yes" : "NO"});
+    bench::printTable(it, "index persistence");
+    std::cout << "\n(Index at " << index_dir
+              << (index_save_s > 0.0 ? " — written by this run"
+                                     : " — pre-existing, save skipped")
+              << "; `ratio` is mmap-load over in-memory build, the "
+                 "restart-cost saving the persistent format buys.)\n";
+    if (!load_match) {
+        std::cerr << "FATAL: the mmap-loaded index diverges from the "
+                     "freshly built table\n";
+        return 1;
+    }
     return 0;
 }

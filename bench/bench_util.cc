@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -308,6 +309,18 @@ exmaConfig(const Dataset &ds, OccIndexMode mode)
     return cfg;
 }
 
+namespace {
+
+/** Wall-clock build seconds of each cached table, keyed like the cache. */
+std::map<std::pair<std::string, int>, double> &
+buildSecondsMap()
+{
+    static std::map<std::pair<std::string, int>, double> m;
+    return m;
+}
+
+} // namespace
+
 const ExmaTable &
 exmaTable(const std::string &dataset_name, OccIndexMode mode)
 {
@@ -317,11 +330,24 @@ exmaTable(const std::string &dataset_name, OccIndexMode mode)
     auto it = cache.find(key);
     if (it == cache.end()) {
         const Dataset &ds = dataset(dataset_name);
+        const auto t0 = std::chrono::steady_clock::now();
         it = cache.emplace(key, std::make_unique<ExmaTable>(
                                      ds.ref, exmaConfig(ds, mode)))
                  .first;
+        buildSecondsMap()[key] =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
     }
     return *it->second;
+}
+
+double
+exmaBuildSeconds(const std::string &dataset_name, OccIndexMode mode)
+{
+    exmaTable(dataset_name, mode); // ensure the build happened
+    return buildSecondsMap()[std::make_pair(dataset_name,
+                                            static_cast<int>(mode))];
 }
 
 std::vector<std::vector<Base>>

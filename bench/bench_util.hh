@@ -81,6 +81,10 @@ ExmaTable::Config exmaConfig(const Dataset &ds, OccIndexMode mode);
 const ExmaTable &exmaTable(const std::string &dataset_name,
                            OccIndexMode mode);
 
+/** Wall-clock seconds exmaTable()'s build took (builds if needed) —
+ *  the denominator of the persistent-index load-vs-build ratio. */
+double exmaBuildSeconds(const std::string &dataset_name, OccIndexMode mode);
+
 /** Error-free search patterns for throughput runs (101 bp seeds). */
 std::vector<std::vector<Base>> patterns(const Dataset &ds, u64 count,
                                         u64 len = 101);

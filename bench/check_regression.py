@@ -6,13 +6,22 @@ Compares the throughput metrics of a freshly produced bench report
 baseline committed under bench/results/, and exits non-zero when any
 metric regresses by more than the tolerance. Metrics are the
 `notes` entries whose key starts with --metric-prefix (default
-`mbases_per_s`, i.e. throughput — higher is better); build times and
-other lower-is-better notes are deliberately not gated, since they are
-far noisier on shared runners.
+`mbases_per_s`, i.e. throughput — higher is better).
+
+Lower-is-better metrics (times: `index_load_s`, `table_build_s`, ...)
+are gated only when named via --lower-metric-prefix, with their own
+--lower-tolerance (default 0.5 = +50%: wall-clock timings are far
+noisier on shared runners than throughput). Unnamed timing notes stay
+ungated, as before.
+
+Absolute bounds (--bound KEY=MAX, repeatable) fail when the current
+report's KEY exceeds MAX or is missing — the index-format CI tier uses
+`--bound index_load_ratio=0.10` to hold mmap-load cost under 10% of
+the table build it replaces, a runner-speed-independent ratio.
 
 Exit codes:
   0  no regression
-  1  at least one metric regressed, or a baseline metric disappeared
+  1  at least one metric regressed, exceeded a bound, or disappeared
   2  bad invocation / unreadable report / scale mismatch
 
 Refreshing the baseline is documented in bench/results/README.md.
@@ -53,6 +62,20 @@ def main(argv=None):
     parser.add_argument("--metric-prefix", default="mbases_per_s",
                         help="gate notes whose key starts with this "
                              "(default: mbases_per_s)")
+    parser.add_argument("--lower-metric-prefix", action="append",
+                        default=[], metavar="PREFIX",
+                        help="also gate notes with this prefix as "
+                             "lower-is-better (repeatable; e.g. "
+                             "index_load_s, table_build_s)")
+    parser.add_argument("--lower-tolerance", type=float, default=0.5,
+                        help="allowed fractional increase of a "
+                             "lower-is-better metric before failing "
+                             "(default 0.5 = +50%%; timings are noisy)")
+    parser.add_argument("--bound", action="append", default=[],
+                        metavar="KEY=MAX",
+                        help="absolute bound: fail when the current "
+                             "report's KEY exceeds MAX or is missing "
+                             "(repeatable; e.g. index_load_ratio=0.10)")
     parser.add_argument("--allow-scale-mismatch", action="store_true",
                         help="compare reports taken at different "
                              "EXMA_BENCH_SCALE values (normally an error: "
@@ -61,6 +84,17 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error("--tolerance must be in [0, 1)")
+    if args.lower_tolerance < 0.0:
+        parser.error("--lower-tolerance must be >= 0")
+    bounds = []
+    for spec in args.bound:
+        key, sep, limit = spec.partition("=")
+        try:
+            bounds.append((key, float(limit)))
+        except ValueError:
+            sep = ""
+        if not sep or not key:
+            parser.error(f"--bound expects KEY=MAX, got '{spec}'")
 
     cur_scale, current = load_report(args.current)
     base_scale, baseline = load_report(args.baseline)
@@ -104,6 +138,40 @@ def main(argv=None):
     if new_keys:
         print(f"note: {len(new_keys)} metric(s) not in baseline yet: "
               f"{', '.join(new_keys)}")
+
+    lower_gated = {k: v for k, v in baseline.items()
+                   if any(k.startswith(p)
+                          for p in args.lower_metric_prefix)}
+    for key in sorted(lower_gated):
+        base = lower_gated[key]
+        if key not in current:
+            print(f"{key:<28} {base:>10.2f} {'MISSING':>10} {'':>8}")
+            failures.append(f"{key}: present in baseline but missing "
+                            f"from current report")
+            continue
+        cur = current[key]
+        delta = (cur - base) / base if base > 0 else 0.0
+        flag = ""
+        if base > 0 and delta > args.lower_tolerance:
+            flag = "  << REGRESSION (lower is better)"
+            failures.append(f"{key}: {base:.4f} -> {cur:.4f} "
+                            f"({delta * 100:+.1f}%, tolerance "
+                            f"+{args.lower_tolerance * 100:.0f}%)")
+        print(f"{key:<28} {base:>10.2f} {cur:>10.2f} "
+              f"{delta * 100:>+7.1f}%{flag}")
+
+    for key, limit in bounds:
+        if key not in current:
+            failures.append(f"{key}: bounded at {limit} but missing "
+                            f"from current report")
+            print(f"{key:<28} {'<= ' + str(limit):>10} {'MISSING':>10}")
+            continue
+        cur = current[key]
+        flag = ""
+        if cur > limit:
+            flag = "  << BOUND EXCEEDED"
+            failures.append(f"{key}: {cur:.4f} exceeds bound {limit}")
+        print(f"{key:<28} {'<= ' + str(limit):>10} {cur:>10.4f}{flag}")
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s) beyond "

@@ -158,6 +158,79 @@ class CheckRegressionTest(unittest.TestCase):
                                 base)
         self.assertEqual(proc.returncode, 2, proc.stderr)
 
+    def test_lower_is_better_gating(self):
+        # index_load_s doubling+ must fail once the prefix is named...
+        base_notes = dict(BASELINE_NOTES, index_load_s=0.10,
+                          table_build_s=2.0)
+        cur_notes = dict(base_notes, index_load_s=0.30)
+        base = self.write("base.json", report(notes=base_notes))
+        cur = self.write("cur.json", report(notes=cur_notes))
+        proc = self.run_checker(cur, base,
+                                "--lower-metric-prefix", "index_load_s",
+                                "--lower-metric-prefix", "table_build_s")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("lower is better", proc.stdout)
+        self.assertIn("index_load_s", proc.stderr)
+        # ...an increase within +50% passes...
+        cur_notes["index_load_s"] = 0.14
+        cur = self.write("cur2.json", report(notes=cur_notes))
+        proc = self.run_checker(cur, base,
+                                "--lower-metric-prefix", "index_load_s",
+                                "--lower-metric-prefix", "table_build_s")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # ...a large *decrease* is an improvement, never a failure...
+        cur_notes["index_load_s"] = 0.01
+        cur = self.write("cur3.json", report(notes=cur_notes))
+        proc = self.run_checker(cur, base,
+                                "--lower-metric-prefix", "index_load_s")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        # ...and without the flag the blow-up stays ungated (old
+        # behaviour preserved).
+        cur_notes["index_load_s"] = 5.0
+        cur = self.write("cur4.json", report(notes=cur_notes))
+        proc = self.run_checker(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_lower_metric_missing_from_current_fails(self):
+        base_notes = dict(BASELINE_NOTES, index_load_s=0.10)
+        cur_notes = dict(BASELINE_NOTES)
+        base = self.write("base.json", report(notes=base_notes))
+        cur = self.write("cur.json", report(notes=cur_notes))
+        proc = self.run_checker(cur, base,
+                                "--lower-metric-prefix", "index_load_s")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing", proc.stderr)
+
+    def test_absolute_bound(self):
+        # The index-format tier's ratio gate: load <= 10% of build.
+        notes = dict(BASELINE_NOTES, index_load_ratio=0.04)
+        base = self.write("base.json", report(notes=notes))
+        cur = self.write("cur.json", report(notes=notes))
+        proc = self.run_checker(cur, base,
+                                "--bound", "index_load_ratio=0.10")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        bad = dict(BASELINE_NOTES, index_load_ratio=0.25)
+        cur = self.write("cur2.json", report(notes=bad))
+        proc = self.run_checker(cur, base,
+                                "--bound", "index_load_ratio=0.10")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("BOUND EXCEEDED", proc.stdout)
+        # A missing bounded metric is a failure, not a silent pass.
+        cur = self.write("cur3.json", report(notes=BASELINE_NOTES))
+        proc = self.run_checker(cur, base,
+                                "--bound", "index_load_ratio=0.10")
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+
+    def test_malformed_bound_is_usage_error(self):
+        base = self.write("base.json", report(notes=BASELINE_NOTES))
+        cur = self.write("cur.json", report(notes=BASELINE_NOTES))
+        proc = self.run_checker(cur, base, "--bound", "index_load_ratio")
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        proc = self.run_checker(cur, base, "--bound", "=0.1")
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+        proc = self.run_checker(cur, base, "--bound", "key=notanumber")
+        self.assertEqual(proc.returncode, 2, proc.stdout)
+
     def test_real_committed_baseline_parses(self):
         # The baseline the CI job actually gates on must stay loadable
         # and hold routed metrics.

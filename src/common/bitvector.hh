@@ -5,14 +5,18 @@
  * Used by the FM-Index locate machinery (sampled suffix-array rows) and
  * anywhere a compact marked-set with rank is needed. Layout: raw 64-bit
  * words plus a cumulative popcount checkpoint every 8 words (512 bits).
+ * Both arrays sit behind Storage<u64> so a restored index can point
+ * them straight into an mmap'd `.exma.sa` section.
  */
 
 #ifndef EXMA_COMMON_BITVECTOR_HH
 #define EXMA_COMMON_BITVECTOR_HH
 
+#include <span>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/storage.hh"
 #include "common/types.hh"
 
 namespace exma {
@@ -24,6 +28,13 @@ class BitVector
 
     /** Create an all-zero bit vector of @p n bits. */
     explicit BitVector(u64 n);
+
+    /**
+     * Restore from serialized parts (src/io/index_io.cc): @p words and
+     * @p super are typically borrowed from an mmap'd section and must
+     * already satisfy the buildRank() invariants.
+     */
+    BitVector(u64 n_bits, u64 ones, Storage<u64> words, Storage<u64> super);
 
     /** Number of bits. */
     u64 size() const { return n_bits_; }
@@ -49,14 +60,20 @@ class BitVector
     /** Total number of 1-bits. */
     u64 ones() const { return ones_; }
 
+    /** Raw word array (serialization). */
+    std::span<const u64> words() const { return words_.span(); }
+
+    /** Rank checkpoint array (serialization). */
+    std::span<const u64> superWords() const { return super_.span(); }
+
     /** Approximate heap footprint in bytes. */
     u64 sizeBytes() const;
 
   private:
     u64 n_bits_ = 0;
     u64 ones_ = 0;
-    std::vector<u64> words_;
-    std::vector<u64> super_; ///< cumulative popcount before each 8-word block
+    Storage<u64> words_;
+    Storage<u64> super_; ///< cumulative popcount before each 8-word block
 };
 
 } // namespace exma

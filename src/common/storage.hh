@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The owned-vs-borrowed array seam behind the persistent index format.
+ *
+ * Every hot array of the serialized structures (PackedRank blocks,
+ * KmerOccTable increments, FM-index SA samples, ...) is held through a
+ * Storage<T>: a freshly built structure owns a std::vector<T>, while a
+ * structure restored from an `.exma.*` file *borrows* a span that
+ * points straight into a read-only mmap of the file — zero-copy, zero
+ * deserialization, and N processes loading the same index share one
+ * physical page-cache copy of the arrays.
+ *
+ * Borrowed storage never outlives its mapping: the io::Loaded* wrappers
+ * (src/io/index_io.hh) keep the MappedFile alive next to the structures
+ * viewing it. Structures themselves do not know (or care) which backing
+ * they run on — reads go through the same span either way.
+ */
+
+#ifndef EXMA_COMMON_STORAGE_HH
+#define EXMA_COMMON_STORAGE_HH
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace exma {
+
+template <typename T>
+class Storage
+{
+  public:
+    Storage() = default;
+
+    /** Owned backing: adopt @p v (the common, freshly-built case). */
+    // NOLINTNEXTLINE(google-explicit-constructor): a vector *is* the
+    // owned storage; implicit adoption keeps build paths unchanged.
+    Storage(std::vector<T> v)
+        : owned_(std::move(v)), view_(owned_)
+    {
+    }
+
+    /** Borrowed backing: view @p s (an mmap held by the caller). */
+    static Storage
+    borrowed(std::span<const T> s)
+    {
+        Storage st;
+        st.view_ = s;
+        st.is_borrowed_ = true;
+        return st;
+    }
+
+    // An owned Storage's view points into its own vector, so moves must
+    // re-anchor the view instead of copying the moved-from span.
+    Storage(const Storage &o)
+        : owned_(o.owned_), is_borrowed_(o.is_borrowed_)
+    {
+        view_ = is_borrowed_ ? o.view_ : std::span<const T>(owned_);
+    }
+    Storage(Storage &&o) noexcept
+        : owned_(std::move(o.owned_)), is_borrowed_(o.is_borrowed_)
+    {
+        view_ = is_borrowed_ ? o.view_ : std::span<const T>(owned_);
+        o.view_ = {};
+        o.is_borrowed_ = false;
+    }
+    Storage &
+    operator=(const Storage &o)
+    {
+        if (this != &o) {
+            owned_ = o.owned_;
+            is_borrowed_ = o.is_borrowed_;
+            view_ = is_borrowed_ ? o.view_ : std::span<const T>(owned_);
+        }
+        return *this;
+    }
+    Storage &
+    operator=(Storage &&o) noexcept
+    {
+        if (this != &o) {
+            owned_ = std::move(o.owned_);
+            is_borrowed_ = o.is_borrowed_;
+            view_ = is_borrowed_ ? o.view_ : std::span<const T>(owned_);
+            o.view_ = {};
+            o.is_borrowed_ = false;
+        }
+        return *this;
+    }
+
+    u64 size() const { return view_.size(); }
+    bool empty() const { return view_.empty(); }
+    const T *data() const { return view_.data(); }
+    const T &operator[](u64 i) const { return view_[i]; }
+    const T *begin() const { return view_.data(); }
+    const T *end() const { return view_.data() + view_.size(); }
+    std::span<const T> span() const { return view_; }
+
+    /** Whether reads resolve into a borrowed mapping. */
+    bool borrowed() const { return is_borrowed_; }
+
+    /**
+     * Mutable element access for build paths. Only owned storage can be
+     * written — a borrowed span views a read-only mapping.
+     */
+    T *
+    mutableData()
+    {
+        exma_assert(!is_borrowed_,
+                    "cannot mutate borrowed (mmap-backed) storage");
+        return owned_.data();
+    }
+
+  private:
+    std::vector<T> owned_;
+    std::span<const T> view_;
+    bool is_borrowed_ = false;
+};
+
+} // namespace exma
+
+#endif // EXMA_COMMON_STORAGE_HH

@@ -12,6 +12,8 @@
 #define EXMA_CORE_EXMA_TABLE_HH
 
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/dna.hh"
@@ -59,6 +61,28 @@ class ExmaTable
      */
     ExmaTable(const std::vector<Base> &ref,
               std::vector<TextSegment> segments, const Config &cfg);
+
+    /**
+     * Serialized parts of a whole table (src/io/index_io.cc): the
+     * structural parts plus exactly one learned-index part matching
+     * cfg.mode (none for Exact). Restoring trains nothing and copies
+     * no hot array — those stay borrowed from the mmap.
+     */
+    struct Parts
+    {
+        Config cfg;
+        std::vector<TextSegment> segments;
+        FmIndex::Restored fm;
+        KmerOccTable::Restored occ;
+        std::optional<MtlIndex::Restored> mtl;
+        std::optional<std::vector<std::pair<Kmer, Rmi<u32>::Parts>>>
+            naive;
+    };
+
+    /** Restore from serialized parts. */
+    explicit ExmaTable(Parts parts);
+
+    const Config &config() const { return cfg_; }
 
     int k() const { return occ_->k(); }
     u64 rows() const { return occ_->rows(); }

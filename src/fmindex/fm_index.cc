@@ -27,6 +27,28 @@ FmIndex::FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
     build(ref, sa);
 }
 
+FmIndex::FmIndex(Restored parts)
+    : cfg_(parts.cfg), n_rows_(parts.n_rows),
+      rank_(std::move(parts.rank)),
+      sa_sampled_(std::move(parts.sa_sampled)),
+      sa_values_(std::move(parts.sa_values))
+{
+    exma_assert(rank_.size() == n_rows_,
+                "fm restore: rank covers %llu rows, header says %llu",
+                (unsigned long long)rank_.size(),
+                (unsigned long long)n_rows_);
+    exma_assert(sa_sampled_.size() == n_rows_,
+                "fm restore: SA-sample bitvector size mismatch");
+    exma_assert(sa_values_.size() == sa_sampled_.ones(),
+                "fm restore: %llu SA values for %llu sampled rows",
+                (unsigned long long)sa_values_.size(),
+                (unsigned long long)sa_sampled_.ones());
+    for (int c = 0; c <= kBwtAlphabet; ++c)
+        count_[c] = parts.count[c];
+    exma_assert(count_[kBwtAlphabet] == n_rows_,
+                "fm restore: Count array does not sum to the row count");
+}
+
 void
 FmIndex::build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
 {
@@ -62,9 +84,10 @@ FmIndex::build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa)
     for (const auto &[row, val] : marks)
         sa_sampled_.set(row);
     sa_sampled_.buildRank();
-    sa_values_.resize(marks.size());
+    std::vector<u32> sa_values(marks.size());
     for (const auto &[row, val] : marks)
-        sa_values_[sa_sampled_.rank1(row)] = val;
+        sa_values[sa_sampled_.rank1(row)] = val;
+    sa_values_ = Storage<u32>(std::move(sa_values));
 }
 
 Interval

@@ -12,10 +12,12 @@
 #ifndef EXMA_FMINDEX_FM_INDEX_HH
 #define EXMA_FMINDEX_FM_INDEX_HH
 
+#include <span>
 #include <vector>
 
 #include "common/bitvector.hh"
 #include "common/dna.hh"
+#include "common/storage.hh"
 #include "common/types.hh"
 #include "fmindex/packed_rank.hh"
 #include "fmindex/suffix_array.hh"
@@ -66,6 +68,24 @@ class FmIndex
     FmIndex(const std::vector<Base> &ref, const std::vector<SaIndex> &sa,
             Config cfg);
 
+    /**
+     * Serialized parts of an index (src/io/index_io.cc). On a load the
+     * array-backed members are borrowed straight from the mmap'd
+     * `.exma.sa` file; nothing is recomputed.
+     */
+    struct Restored
+    {
+        Config cfg;
+        u64 n_rows = 0;
+        u64 count[kBwtAlphabet + 1] = {};
+        PackedRank rank;
+        BitVector sa_sampled;
+        Storage<u32> sa_values;
+    };
+
+    /** Restore from serialized parts. */
+    explicit FmIndex(Restored parts);
+
     /** Number of BW-matrix rows (|ref| + 1). */
     u64 size() const { return n_rows_; }
 
@@ -108,6 +128,18 @@ class FmIndex
 
     const Config &config() const { return cfg_; }
 
+    /** The rank structure (serialization). */
+    const PackedRank &packedRank() const { return rank_; }
+
+    /** The sampled-row bit vector (serialization). */
+    const BitVector &saSampled() const { return sa_sampled_; }
+
+    /** The rank-indexed SA sample values (serialization). */
+    std::span<const u32> saValues() const { return sa_values_.span(); }
+
+    /** The cumulative Count array, kBwtAlphabet+1 entries. */
+    std::span<const u64> countArray() const { return {count_, kBwtAlphabet + 1}; }
+
   private:
     void build(const std::vector<Base> &ref, const std::vector<SaIndex> &sa);
 
@@ -115,8 +147,8 @@ class FmIndex
     u64 n_rows_ = 0;
     PackedRank rank_; ///< 2-bit BWT + interleaved Occ checkpoints
     u64 count_[kBwtAlphabet + 1] = {};
-    BitVector sa_sampled_;       ///< rows with a sampled SA value
-    std::vector<u32> sa_values_; ///< sampled values, rank-indexed
+    BitVector sa_sampled_;    ///< rows with a sampled SA value
+    Storage<u32> sa_values_; ///< sampled values, rank-indexed
 };
 
 } // namespace exma

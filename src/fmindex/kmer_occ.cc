@@ -67,6 +67,25 @@ KmerOccTable::KmerOccTable(const std::vector<Base> &ref, int k,
     build(ref, buildSuffixArray(ref), build_threads);
 }
 
+KmerOccTable::KmerOccTable(Restored parts)
+    : k_(parts.k), n_rows_(parts.n_rows), distinct_(parts.distinct),
+      bases_(std::move(parts.bases)), rows_(std::move(parts.rows)),
+      sentinel_windows_(std::move(parts.sentinel_windows)),
+      sentinel_thresholds_(std::move(parts.sentinel_thresholds))
+{
+    exma_assert(k_ >= 1 && k_ <= 27, "k=%d out of supported range", k_);
+    exma_assert(bases_.size() == kmerSpace(k_) + 1,
+                "occ restore: base array has %llu entries for k=%d",
+                (unsigned long long)bases_.size(), k_);
+    exma_assert(bases_[bases_.size() - 1] == rows_.size(),
+                "occ restore: %llu increments, base array claims %u",
+                (unsigned long long)rows_.size(),
+                bases_[bases_.size() - 1]);
+    exma_assert(sentinel_windows_.size() == static_cast<u64>(k_) &&
+                    sentinel_thresholds_.size() == static_cast<u64>(k_),
+                "occ restore: expected k=%d sentinel windows", k_);
+}
+
 void
 KmerOccTable::build(const std::vector<Base> &ref,
                     const std::vector<SaIndex> &sa, unsigned build_threads)
@@ -79,7 +98,10 @@ KmerOccTable::build(const std::vector<Base> &ref,
     exma_assert(n >= k, "reference shorter than k");
 
     const u64 space = kmerSpace(k_);
-    bases_.assign(space + 1, 0);
+    // Built into plain vectors, moved into the Storage members at the
+    // end (borrowed Storage is immutable, so build paths stay local).
+    std::vector<u32> bases(space + 1, 0);
+    std::vector<u32> rows;
     sentinel_windows_.clear();
 
     // The window preceding row r covers positions SA[r]-k .. SA[r]-1 of
@@ -122,7 +144,7 @@ KmerOccTable::build(const std::vector<Base> &ref,
     const u64 rows_per_chunk = (n_rows_ + chunks - 1) / chunks;
 
     // Pass 1: count occurrences per pure k-mer; collect sentinel rows.
-    // The serial build counts straight into bases_[m + 1] (no extra
+    // The serial build counts straight into bases[m + 1] (no extra
     // allocation, matching the pre-chunking memory profile); the
     // parallel build counts into per-chunk histograms instead.
     std::vector<std::vector<u32>> hist(chunks > 1 ? chunks : 0);
@@ -130,7 +152,7 @@ KmerOccTable::build(const std::vector<Base> &ref,
         for (u64 r = 0; r < n_rows_; ++r) {
             const u64 pos = sa[r];
             if (pos >= k)
-                ++bases_[packKmer(ref.data() + (pos - k), k_) + 1];
+                ++bases[packKmer(ref.data() + (pos - k), k_) + 1];
             else
                 sentinel_windows_.emplace_back(sentinelCode5(r),
                                                static_cast<u32>(r));
@@ -169,7 +191,7 @@ KmerOccTable::build(const std::vector<Base> &ref,
         sentinel_thresholds_[w] =
             pureCodeAbove(sentinel_windows_[w].first, k_);
 
-    // Merge the chunk histograms into bases_[m + 1].
+    // Merge the chunk histograms into bases[m + 1].
     const u64 merge_grain = std::max<u64>(space / (chunks * 8u), 4096);
     if (chunks > 1) {
         parallelFor(
@@ -179,7 +201,7 @@ KmerOccTable::build(const std::vector<Base> &ref,
                     u32 s = 0;
                     for (unsigned t = 0; t < chunks; ++t)
                         s += hist[t][m];
-                    bases_[m + 1] = s;
+                    bases[m + 1] = s;
                 }
             },
             loop_threads);
@@ -188,55 +210,57 @@ KmerOccTable::build(const std::vector<Base> &ref,
     // Prefix-sum the counts into base offsets; count distinct k-mers.
     distinct_ = 0;
     for (u64 m = 0; m < space; ++m) {
-        if (bases_[m + 1] != 0)
+        if (bases[m + 1] != 0)
             ++distinct_;
-        bases_[m + 1] += bases_[m];
+        bases[m + 1] += bases[m];
     }
 
     // Pass 2: place rows. Ascending r within a chunk plus cursors
     // staggered by the earlier chunks' counts keeps every increment
-    // list globally sorted. Serial uses one cursor copy of bases_.
-    rows_.resize(bases_[space]);
+    // list globally sorted. Serial uses one cursor copy of bases.
+    rows.resize(bases[space]);
     if (chunks == 1) {
-        std::vector<u32> cursor(bases_.begin(), bases_.end() - 1);
+        std::vector<u32> cursor(bases.begin(), bases.end() - 1);
         for (u64 r = 0; r < n_rows_; ++r) {
             const u64 pos = sa[r];
             if (pos >= k)
-                rows_[cursor[packKmer(ref.data() + (pos - k), k_)]++] =
+                rows[cursor[packKmer(ref.data() + (pos - k), k_)]++] =
                     static_cast<u32>(r);
         }
-        return;
+    } else {
+        parallelFor(
+            space, merge_grain,
+            [&](u64 mb, u64 me, unsigned) {
+                for (u64 m = mb; m < me; ++m) {
+                    u32 cur = bases[m];
+                    for (unsigned t = 0; t < chunks; ++t) {
+                        const u32 cnt = hist[t][m];
+                        hist[t][m] = cur;
+                        cur += cnt;
+                    }
+                }
+            },
+            loop_threads);
+        parallelFor(
+            chunks, 1,
+            [&](u64 cb, u64 ce, unsigned) {
+                for (u64 t = cb; t < ce; ++t) {
+                    auto &cursor = hist[t];
+                    const u64 lo = t * rows_per_chunk;
+                    const u64 hi = std::min(lo + rows_per_chunk, n_rows_);
+                    for (u64 r = lo; r < hi; ++r) {
+                        const u64 pos = sa[r];
+                        if (pos >= k)
+                            rows[cursor[packKmer(ref.data() + (pos - k),
+                                                 k_)]++] =
+                                static_cast<u32>(r);
+                    }
+                }
+            },
+            loop_threads);
     }
-    parallelFor(
-        space, merge_grain,
-        [&](u64 mb, u64 me, unsigned) {
-            for (u64 m = mb; m < me; ++m) {
-                u32 cur = bases_[m];
-                for (unsigned t = 0; t < chunks; ++t) {
-                    const u32 cnt = hist[t][m];
-                    hist[t][m] = cur;
-                    cur += cnt;
-                }
-            }
-        },
-        loop_threads);
-    parallelFor(
-        chunks, 1,
-        [&](u64 cb, u64 ce, unsigned) {
-            for (u64 t = cb; t < ce; ++t) {
-                auto &cursor = hist[t];
-                const u64 lo = t * rows_per_chunk;
-                const u64 hi = std::min(lo + rows_per_chunk, n_rows_);
-                for (u64 r = lo; r < hi; ++r) {
-                    const u64 pos = sa[r];
-                    if (pos >= k)
-                        rows_[cursor[packKmer(ref.data() + (pos - k),
-                                              k_)]++] =
-                            static_cast<u32>(r);
-                }
-            }
-        },
-        loop_threads);
+    bases_ = Storage<u32>(std::move(bases));
+    rows_ = Storage<u32>(std::move(rows));
 }
 
 u64

@@ -19,9 +19,11 @@
 #define EXMA_FMINDEX_KMER_OCC_HH
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/dna.hh"
+#include "common/storage.hh"
 #include "common/types.hh"
 #include "fmindex/suffix_array.hh"
 
@@ -48,6 +50,25 @@ class KmerOccTable
     /** Convenience constructor that builds its own suffix array. */
     KmerOccTable(const std::vector<Base> &ref, int k,
                  unsigned build_threads = 0);
+
+    /**
+     * Serialized parts of a table (src/io/index_io.cc). On a load the
+     * two hot arrays are borrowed straight from the mmap'd `.exma.occ`
+     * file; the tiny sentinel arrays (k entries each) are owned copies.
+     */
+    struct Restored
+    {
+        int k = 0;
+        u64 n_rows = 0;
+        u64 distinct = 0;
+        Storage<u32> bases;
+        Storage<u32> rows;
+        std::vector<std::pair<u64, u32>> sentinel_windows;
+        std::vector<u64> sentinel_thresholds;
+    };
+
+    /** Restore from serialized parts; nothing is recomputed. */
+    explicit KmerOccTable(Restored parts);
 
     int k() const { return k_; }
 
@@ -86,10 +107,24 @@ class KmerOccTable
     u64 baseOf(Kmer code) const { return bases_[code]; }
 
     /** Concatenated increments of all pure-DNA k-mers. */
-    const std::vector<u32> &allIncrements() const { return rows_; }
+    std::span<const u32> allIncrements() const { return rows_.span(); }
 
     /** The raw base-offset array (4^k + 1 entries, non-decreasing). */
-    const std::vector<u32> &baseArray() const { return bases_; }
+    std::span<const u32> baseArray() const { return bases_.span(); }
+
+    /** Sentinel-containing windows, sorted by code (serialization). */
+    const std::vector<std::pair<u64, u32>> &
+    sentinelWindows() const
+    {
+        return sentinel_windows_;
+    }
+
+    /** Per-window pure-code thresholds, ascending (serialization). */
+    const std::vector<u64> &
+    sentinelThresholds() const
+    {
+        return sentinel_thresholds_;
+    }
 
     /** Number of distinct pure-DNA k-mers that occur at least once. */
     u64 distinctKmers() const { return distinct_; }
@@ -104,8 +139,8 @@ class KmerOccTable
     int k_;
     u64 n_rows_ = 0;
     u64 distinct_ = 0;
-    std::vector<u32> bases_;  ///< 4^k + 1 prefix offsets into rows_
-    std::vector<u32> rows_;   ///< concatenated sorted increment rows
+    Storage<u32> bases_; ///< 4^k + 1 prefix offsets into rows_
+    Storage<u32> rows_;  ///< concatenated sorted increment rows
     /** Sentinel-containing windows: (base-5 code, row), sorted by code. */
     std::vector<std::pair<u64, u32>> sentinel_windows_;
     /**

@@ -7,10 +7,10 @@ PackedRank::PackedRank(std::span<const u8> bwt)
 {
     // One trailing block so occ(sym, n_) resolves like any other
     // position; its padding lanes are never covered by a lane mask.
-    blocks_.assign((n_ >> 6) + 1, Block{});
+    std::vector<Block> blocks((n_ >> 6) + 1, Block{});
     u32 running[4] = {};
     for (u64 i = 0; i < n_; ++i) {
-        Block &b = blocks_[i >> 6];
+        Block &b = blocks[i >> 6];
         const unsigned j = i & 63;
         if (j == 0)
             for (int c = 0; c < 4; ++c)
@@ -36,7 +36,8 @@ PackedRank::PackedRank(std::span<const u8> bwt)
     // store above; its checkpoints serve occ(sym, n_).
     if ((n_ & 63) == 0)
         for (int c = 0; c < 4; ++c)
-            blocks_[n_ >> 6].ckpt[c] = running[c];
+            blocks[n_ >> 6].ckpt[c] = running[c];
+    blocks_ = Storage<Block>(std::move(blocks));
 }
 
 } // namespace exma

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/storage.hh"
 #include "common/types.hh"
 
 namespace exma {
@@ -36,6 +37,21 @@ class PackedRank
     /** Symbols per block (and per checkpoint). */
     static constexpr u64 kBlockSymbols = 64;
 
+    /**
+     * One rank block: checkpoints and the 64 symbols they describe,
+     * interleaved. 32 bytes, so two blocks share a cache line and no
+     * lookup ever straddles one. Public (and trivially copyable)
+     * because this is exactly the record the `.exma.sa` file stores —
+     * a loaded PackedRank points blocks_ straight into the mapping.
+     */
+    struct alignas(32) Block
+    {
+        u32 ckpt[4] = {}; ///< Occ(A..T) before the block (phantom 'A'
+                          ///< of the primary row included)
+        u64 data[2] = {}; ///< 2-bit symbol codes, lane j of word j>>5
+    };
+    static_assert(sizeof(Block) == 32, "rank block must stay 32 bytes");
+
     PackedRank() = default;
 
     /**
@@ -44,6 +60,22 @@ class PackedRank
      * is then identically 0).
      */
     explicit PackedRank(std::span<const u8> bwt);
+
+    /**
+     * Restore from serialized parts (src/io/index_io.cc): @p blocks is
+     * typically borrowed from an mmap'd `.exma.sa` section.
+     */
+    PackedRank(u64 n, u64 primary, Storage<Block> blocks)
+        : n_(n), primary_(primary), blocks_(std::move(blocks))
+    {
+        exma_assert(blocks_.size() == (n_ >> 6) + 1,
+                    "rank restore: %llu blocks cannot cover %llu symbols",
+                    (unsigned long long)blocks_.size(),
+                    (unsigned long long)n_);
+    }
+
+    /** The raw block array (serialization). */
+    std::span<const Block> blocks() const { return blocks_.span(); }
 
     /** Number of symbols. */
     u64 size() const { return n_; }
@@ -113,22 +145,9 @@ class PackedRank
         return lanes >= 32 ? ~u64{0} : (u64{1} << (2 * lanes)) - 1;
     }
 
-    /**
-     * One rank block: checkpoints and the 64 symbols they describe,
-     * interleaved. 32 bytes, so two blocks share a cache line and no
-     * lookup ever straddles one.
-     */
-    struct alignas(32) Block
-    {
-        u32 ckpt[4] = {}; ///< Occ(A..T) before the block (phantom 'A'
-                          ///< of the primary row included)
-        u64 data[2] = {}; ///< 2-bit symbol codes, lane j of word j>>5
-    };
-    static_assert(sizeof(Block) == 32, "rank block must stay 32 bytes");
-
     u64 n_ = 0;
     u64 primary_ = ~u64{0}; ///< ~0 (= "past any i") when sentinel-free
-    std::vector<Block> blocks_;
+    Storage<Block> blocks_;
 };
 
 } // namespace exma

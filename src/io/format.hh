@@ -1,0 +1,366 @@
+/**
+ * @file
+ * The on-disk layout of the persistent index: TMAP-style companion
+ * files (`.exma.occ` / `.exma.sa` / `.exma.pac` / `.exma.manifest`),
+ * each carrying a magic string, the format version, an endianness tag
+ * and a checksum, followed by a table of 64-byte-aligned typed
+ * sections.
+ *
+ * Every file is:
+ *
+ *   FileHeader (64 B)            magic, version, endian, checksum
+ *   SectionEntry[n_sections]     tag, element size, count, offset
+ *   ...payload sections...       each offset 64-byte aligned
+ *
+ * All integers are little-endian; big-endian hosts are refused at both
+ * save and load (no byte-swapping deserializer exists — the whole
+ * point of the format is that hot arrays are used in place via mmap).
+ * The checksum is FNV-1a-64 over every byte after the header, so a
+ * truncated or bit-flipped file fails closed with a LoadError before
+ * any structure touches it.
+ *
+ * Version-bump policy: any change to FileHeader, SectionEntry, a
+ * section's element layout, or the meaning of an existing tag bumps
+ * kFormatVersion; loaders refuse other versions outright (no
+ * migration). Adding a new tag to a file is also a bump — older
+ * readers would silently ignore data the writer considered part of
+ * the index.
+ */
+
+#ifndef EXMA_IO_FORMAT_HH
+#define EXMA_IO_FORMAT_HH
+
+#include <bit>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "io/mapped_file.hh"
+
+namespace exma {
+
+/** Bumped on any on-disk layout change (see the policy above). */
+constexpr u32 kFormatVersion = 1;
+
+/** Value of FileHeader::endian on a little-endian writer. */
+constexpr u32 kEndianTag = 0x01020304;
+
+/** Companion-file magics, 8 bytes each (NUL-padded). */
+constexpr char kMagicOcc[8] = {'E', 'X', 'M', 'A', 'O', 'C', 'C', '\0'};
+constexpr char kMagicSa[8] = {'E', 'X', 'M', 'A', 'S', 'A', '\0', '\0'};
+constexpr char kMagicPac[8] = {'E', 'X', 'M', 'A', 'P', 'A', 'C', '\0'};
+constexpr char kMagicManifest[8] = {'E', 'X', 'M', 'A', 'I', 'D', 'X', '\0'};
+
+/** Companion-file extensions (appended to an index stem). */
+constexpr const char *kExtOcc = ".exma.occ";
+constexpr const char *kExtSa = ".exma.sa";
+constexpr const char *kExtPac = ".exma.pac";
+constexpr const char *kManifestName = "index.exma.manifest";
+
+/** Section payload alignment: one cache line, so mmap'd arrays keep
+ *  the alignment their in-memory builders guarantee (PackedRank's
+ *  alignas(32) blocks in particular). */
+constexpr u64 kSectionAlign = 64;
+
+struct FileHeader
+{
+    char magic[8] = {};
+    u32 version = 0;
+    u32 endian = 0;
+    u64 file_bytes = 0; ///< total file size, for truncation detection
+    u64 checksum = 0;   ///< FNV-1a-64 over bytes [64, file_bytes)
+    u32 n_sections = 0;
+    u32 flags = 0;      ///< reserved, written 0
+    u8 pad[24] = {};    ///< reserved, written 0
+};
+static_assert(sizeof(FileHeader) == 64, "header must stay one line");
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+
+struct SectionEntry
+{
+    u32 tag = 0;       ///< section id, unique within the file
+    u32 elem_size = 0; ///< sizeof one element
+    u64 count = 0;     ///< number of elements
+    u64 offset = 0;    ///< byte offset from file start, 64-aligned
+    u64 reserved = 0;  ///< written 0
+};
+static_assert(sizeof(SectionEntry) == 32, "section entry is 32 bytes");
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+
+/** FNV-1a-64 over @p bytes, continuing from @p seed. */
+constexpr u64
+fnv1a(std::span<const u8> bytes, u64 seed = 0xcbf29ce484222325ULL)
+{
+    u64 h = seed;
+    for (const u8 b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** The format is little-endian only; see the file comment. */
+inline void
+requireLittleEndian(const char *verb)
+{
+    exma_assert(std::endian::native == std::endian::little,
+                "cannot %s .exma files on a big-endian host (the "
+                "format is little-endian mmap-in-place)",
+                verb);
+}
+
+/**
+ * In-memory builder for one companion file: append typed sections,
+ * then save() writes header + section table + 64-byte-aligned payload
+ * and stamps the checksum.
+ *
+ * Call sites must name the element type explicitly and static_assert
+ * its size and trivial copyability right at the write site (enforced
+ * by tools/lint/exma_lint.py rule `ondisk-pod-assert`), so a silent
+ * struct-layout change cannot silently change the format.
+ */
+class FileBuilder
+{
+  public:
+    explicit FileBuilder(const char (&magic)[8])
+    {
+        requireLittleEndian("save");
+        std::memcpy(magic_, magic, sizeof(magic_));
+    }
+
+    template <typename T>
+    void
+    writeArray(u32 tag, std::span<const T> data)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "only trivially copyable elements are mmap-safe");
+        Section s;
+        s.tag = tag;
+        s.elem_size = static_cast<u32>(sizeof(T));
+        s.count = data.size();
+        s.bytes.resize(data.size_bytes());
+        if (!data.empty())
+            std::memcpy(s.bytes.data(), data.data(), data.size_bytes());
+        for (const Section &prev : sections_)
+            exma_assert(prev.tag != tag, "duplicate section tag %u", tag);
+        sections_.push_back(std::move(s));
+    }
+
+    /** Write @p path atomically (tmp file + rename); panics on IO
+     *  failure — saving is a build step, not a serving path. */
+    void save(const std::string &path) const;
+
+  private:
+    struct Section
+    {
+        u32 tag = 0;
+        u32 elem_size = 0;
+        u64 count = 0;
+        std::vector<u8> bytes;
+    };
+
+    char magic_[8] = {};
+    std::vector<Section> sections_;
+};
+
+/**
+ * Validated view of a mapped companion file: checks magic, version,
+ * endianness, size, section geometry and checksum up front (throwing
+ * LoadError), then hands out zero-copy typed spans into the mapping.
+ */
+class FileView
+{
+  public:
+    FileView(const MappedFile &file, const char (&magic)[8]);
+
+    bool has(u32 tag) const { return find(tag) != nullptr; }
+
+    /**
+     * Zero-copy span over section @p tag. The element type must match
+     * the writer's (size-checked); call sites carry the same
+     * static_asserts as writeArray sites.
+     */
+    template <typename T>
+    std::span<const T>
+    viewArray(u32 tag) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "only trivially copyable elements are mmap-safe");
+        const SectionEntry *e = find(tag);
+        if (e == nullptr)
+            throw LoadError(file_->path() + ": missing section " +
+                            std::to_string(tag));
+        if (e->elem_size != sizeof(T))
+            throw LoadError(file_->path() + ": section " +
+                            std::to_string(tag) + " holds " +
+                            std::to_string(e->elem_size) +
+                            "-byte elements, reader expects " +
+                            std::to_string(sizeof(T)));
+        // NOLINTNEXTLINE(cppcoreguidelines-pro-type-reinterpret-cast):
+        // the pointer is kSectionAlign-aligned (validated) and T is
+        // trivially copyable — this cast is the zero-copy load.
+        return {reinterpret_cast<const T *>(file_->data() + e->offset),
+                e->count};
+    }
+
+    /** Section @p tag copied out as owned bytes (small metadata). */
+    std::vector<u8> readBlob(u32 tag) const;
+
+  private:
+    const SectionEntry *find(u32 tag) const;
+
+    const MappedFile *file_ = nullptr;
+    std::span<const SectionEntry> entries_;
+};
+
+/**
+ * Growable little-endian metadata blob (configs, model weights —
+ * everything that is not a hot array). Paired with BlobReader.
+ */
+class BlobWriter
+{
+  public:
+    void
+    putU32(u32 v)
+    {
+        putRaw(&v, sizeof(v));
+    }
+    void
+    putU64(u64 v)
+    {
+        putRaw(&v, sizeof(v));
+    }
+    void
+    putI32(i32 v)
+    {
+        putRaw(&v, sizeof(v));
+    }
+    void
+    putF64(double v)
+    {
+        putRaw(&v, sizeof(v));
+    }
+    void
+    putString(const std::string &s)
+    {
+        putU64(s.size());
+        putRaw(s.data(), s.size());
+    }
+    void
+    putF64Array(std::span<const double> v)
+    {
+        putU64(v.size());
+        putRaw(v.data(), v.size_bytes());
+    }
+
+    std::span<const u8> bytes() const { return buf_; }
+
+  private:
+    void
+    putRaw(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const u8 *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    std::vector<u8> buf_;
+};
+
+/** Bounds-checked reader over a metadata blob; overruns throw. */
+class BlobReader
+{
+  public:
+    BlobReader(std::span<const u8> bytes, std::string what)
+        : bytes_(bytes), what_(std::move(what))
+    {
+    }
+
+    u32
+    getU32()
+    {
+        u32 v = 0;
+        getRaw(&v, sizeof(v));
+        return v;
+    }
+    u64
+    getU64()
+    {
+        u64 v = 0;
+        getRaw(&v, sizeof(v));
+        return v;
+    }
+    i32
+    getI32()
+    {
+        i32 v = 0;
+        getRaw(&v, sizeof(v));
+        return v;
+    }
+    double
+    getF64()
+    {
+        double v = 0;
+        getRaw(&v, sizeof(v));
+        return v;
+    }
+    std::string
+    getString()
+    {
+        const u64 n = getU64();
+        checkRemaining(n);
+        std::string s(reinterpret_cast<const char *>(bytes_.data()) + // NOLINT(cppcoreguidelines-pro-type-reinterpret-cast)
+                          pos_,
+                      n);
+        pos_ += n;
+        return s;
+    }
+    std::vector<double>
+    getF64Array()
+    {
+        const u64 n = getU64();
+        checkRemaining(n * sizeof(double));
+        std::vector<double> v(n);
+        if (n > 0)
+            std::memcpy(v.data(), bytes_.data() + pos_,
+                        n * sizeof(double));
+        pos_ += n * sizeof(double);
+        return v;
+    }
+
+    /** Every byte must be consumed — trailing garbage is corruption. */
+    void
+    finish() const
+    {
+        if (pos_ != bytes_.size())
+            throw LoadError(what_ + ": " +
+                            std::to_string(bytes_.size() - pos_) +
+                            " unconsumed metadata bytes");
+    }
+
+  private:
+    void
+    checkRemaining(u64 n) const
+    {
+        if (n > bytes_.size() - pos_)
+            throw LoadError(what_ + ": truncated metadata blob");
+    }
+    void
+    getRaw(void *p, size_t n)
+    {
+        checkRemaining(n);
+        std::memcpy(p, bytes_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::span<const u8> bytes_;
+    size_t pos_ = 0;
+    std::string what_;
+};
+
+} // namespace exma
+
+#endif // EXMA_IO_FORMAT_HH

@@ -1,0 +1,810 @@
+#include "io/index_io.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "common/logging.hh"
+#include "io/format.hh"
+
+namespace exma {
+
+namespace {
+
+// On-disk element-layout contracts (lint: ondisk-pod-assert). Any
+// change to one of these sizes is a format change: bump kFormatVersion.
+static_assert(sizeof(u8) == 1);
+static_assert(std::is_trivially_copyable_v<u8>);
+static_assert(sizeof(u32) == 4);
+static_assert(std::is_trivially_copyable_v<u32>);
+static_assert(sizeof(u64) == 8);
+static_assert(std::is_trivially_copyable_v<u64>);
+static_assert(sizeof(TextSegment) == 24);
+static_assert(std::is_trivially_copyable_v<TextSegment>);
+static_assert(sizeof(PackedRank::Block) == 32);
+static_assert(std::is_trivially_copyable_v<PackedRank::Block>);
+static_assert(sizeof(ClampedLeaf) == 32);
+static_assert(std::is_trivially_copyable_v<ClampedLeaf>);
+
+// Section tags. Per-file namespaces; a tag's meaning never changes
+// within a format version.
+constexpr u32 kPacMeta = 1;     ///< config echo + text geometry blob
+constexpr u32 kPacSegments = 2; ///< TextSegment[]
+constexpr u32 kPacText = 3;     ///< 2-bit packed local text, u64[]
+
+constexpr u32 kOccMeta = 1;      ///< k/rows/sentinels blob
+constexpr u32 kOccBases = 2;     ///< base pointers, u32[4^k + 1]
+constexpr u32 kOccRows = 3;      ///< concatenated increments, u32[]
+constexpr u32 kOccModelMeta = 4; ///< learned-model blob (mode != Exact)
+constexpr u32 kOccMtlLeaves = 5; ///< ClampedLeaf[] (MTL only)
+
+constexpr u32 kSaMeta = 1;       ///< FM geometry blob
+constexpr u32 kSaRankBlocks = 2; ///< PackedRank::Block[]
+constexpr u32 kSaValues = 3;     ///< sampled SA values, u32[]
+constexpr u32 kSaBvWords = 4;    ///< sampled-row bit vector words, u64[]
+constexpr u32 kSaBvSuper = 5;    ///< bit vector rank checkpoints, u64[]
+
+constexpr u32 kManifestMeta = 1; ///< whole-index description blob
+
+void
+writeBlob(FileBuilder &fb, u32 tag, const BlobWriter &w)
+{
+    fb.writeArray<u8>(tag, w.bytes());
+}
+
+// --- config echo --------------------------------------------------------
+
+void
+putTableConfig(BlobWriter &w, const ExmaTable::Config &cfg)
+{
+    w.putI32(cfg.k);
+    w.putU32(static_cast<u32>(cfg.mode));
+    w.putU64(cfg.mtl.min_increments);
+    w.putU64(cfg.mtl.leaf_size);
+    w.putI32(cfg.mtl.hidden);
+    w.putI32(cfg.mtl.epochs);
+    w.putU64(cfg.mtl.samples_per_class);
+    w.putF64(cfg.mtl.lr);
+    w.putU64(cfg.mtl.seed);
+    w.putU64(cfg.naive.min_increments);
+    w.putU64(cfg.naive.leaf_size);
+    w.putI32(cfg.naive.hidden);
+    w.putI32(cfg.naive.epochs);
+    w.putU64(cfg.naive.train_cap);
+    w.putU64(cfg.naive.seed);
+    w.putU32(cfg.fm.occ_sample);
+    w.putU32(cfg.fm.sa_sample);
+}
+
+ExmaTable::Config
+getTableConfig(BlobReader &r)
+{
+    ExmaTable::Config cfg;
+    cfg.k = r.getI32();
+    const u32 mode = r.getU32();
+    if (mode > static_cast<u32>(OccIndexMode::Mtl))
+        throw LoadError("config echo: unknown occ-index mode " +
+                        std::to_string(mode));
+    cfg.mode = static_cast<OccIndexMode>(mode);
+    cfg.mtl.min_increments = r.getU64();
+    cfg.mtl.leaf_size = r.getU64();
+    cfg.mtl.hidden = r.getI32();
+    cfg.mtl.epochs = r.getI32();
+    cfg.mtl.samples_per_class = r.getU64();
+    cfg.mtl.lr = r.getF64();
+    cfg.mtl.seed = r.getU64();
+    cfg.naive.min_increments = r.getU64();
+    cfg.naive.leaf_size = r.getU64();
+    cfg.naive.hidden = r.getI32();
+    cfg.naive.epochs = r.getI32();
+    cfg.naive.train_cap = r.getU64();
+    cfg.naive.seed = r.getU64();
+    cfg.fm.occ_sample = r.getU32();
+    cfg.fm.sa_sample = r.getU32();
+    return cfg;
+}
+
+// --- learned models -----------------------------------------------------
+
+void
+putMlp(BlobWriter &w, const Mlp &m)
+{
+    w.putI32(m.inputDim());
+    w.putI32(m.hiddenWidth());
+    w.putF64Array(m.hiddenWeights());
+    w.putF64Array(m.hiddenBiases());
+    w.putF64Array(m.outputWeights());
+    w.putF64(m.outputBias());
+}
+
+Mlp
+getMlp(BlobReader &r)
+{
+    const int in_dim = r.getI32();
+    const int hidden = r.getI32();
+    std::vector<double> w1 = r.getF64Array();
+    std::vector<double> b1 = r.getF64Array();
+    std::vector<double> w2 = r.getF64Array();
+    const double b2 = r.getF64();
+    if (in_dim < 1 || in_dim > 2 || hidden < 1 ||
+        w1.size() != static_cast<size_t>(hidden) * in_dim ||
+        b1.size() != static_cast<size_t>(hidden) ||
+        w2.size() != static_cast<size_t>(hidden))
+        throw LoadError("malformed MLP weights in model blob");
+    return {in_dim, hidden, std::move(w1), std::move(b1), std::move(w2),
+            b2};
+}
+
+void
+putMtlModel(FileBuilder &fb, const MtlIndex &mtl)
+{
+    BlobWriter w;
+    for (const int m : mtl.classModel())
+        w.putI32(m);
+    w.putU32(static_cast<u32>(mtl.sharedMlps().size()));
+    for (const Mlp &m : mtl.sharedMlps())
+        putMlp(w, m);
+    // The k-mer -> leaf-range map lives in an unordered_map; serialize
+    // sorted by code so identical tables save byte-identical files.
+    std::vector<std::pair<Kmer, MtlIndex::KmerLeaves>> kmers(
+        mtl.kmerMap().begin(), mtl.kmerMap().end());
+    std::sort(kmers.begin(), kmers.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    w.putU64(kmers.size());
+    for (const auto &[code, kl] : kmers) {
+        w.putU64(code);
+        w.putU32(kl.first_leaf);
+        w.putU32(kl.n_leaves);
+        w.putI32(kl.cls);
+    }
+    writeBlob(fb, kOccModelMeta, w);
+    fb.writeArray<ClampedLeaf>(kOccMtlLeaves, mtl.leafArray());
+}
+
+MtlIndex::Restored
+getMtlModel(const FileView &view, const MtlIndex::Config &cfg,
+            const std::string &what)
+{
+    MtlIndex::Restored parts;
+    parts.cfg = cfg;
+    const std::vector<u8> blob = view.readBlob(kOccModelMeta);
+    BlobReader r(blob, what + " (MTL model)");
+    for (int &m : parts.class_model)
+        m = r.getI32();
+    const u32 n_mlps = r.getU32();
+    parts.mlps.reserve(n_mlps);
+    for (u32 i = 0; i < n_mlps; ++i)
+        parts.mlps.push_back(getMlp(r));
+    const u64 n_kmers = r.getU64();
+    parts.kmers.reserve(n_kmers);
+    for (u64 i = 0; i < n_kmers; ++i) {
+        const Kmer code = r.getU64();
+        MtlIndex::KmerLeaves kl;
+        kl.first_leaf = r.getU32();
+        kl.n_leaves = r.getU32();
+        kl.cls = r.getI32();
+        parts.kmers.emplace_back(code, kl);
+    }
+    r.finish();
+    parts.leaves = Storage<ClampedLeaf>::borrowed(
+        view.viewArray<ClampedLeaf>(kOccMtlLeaves));
+    return parts;
+}
+
+void
+putLeaves(BlobWriter &w, std::span<const ClampedLeaf> leaves)
+{
+    w.putU64(leaves.size());
+    for (const ClampedLeaf &l : leaves) {
+        w.putF64(l.model.w);
+        w.putF64(l.model.b);
+        w.putF64(l.ymin);
+        w.putF64(l.ymax);
+    }
+}
+
+std::vector<ClampedLeaf>
+getLeaves(BlobReader &r)
+{
+    const u64 n = r.getU64();
+    std::vector<ClampedLeaf> leaves(n);
+    for (u64 i = 0; i < n; ++i) {
+        leaves[i].model.w = r.getF64();
+        leaves[i].model.b = r.getF64();
+        leaves[i].ymin = r.getF64();
+        leaves[i].ymax = r.getF64();
+    }
+    return leaves;
+}
+
+void
+putNaiveModel(FileBuilder &fb, const NaiveKmerIndex &naive)
+{
+    std::vector<std::pair<Kmer, const Rmi<u32> *>> models;
+    models.reserve(naive.models().size());
+    for (const auto &[code, rmi] : naive.models())
+        models.emplace_back(code, &rmi);
+    std::sort(models.begin(), models.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+
+    BlobWriter w;
+    w.putU64(models.size());
+    for (const auto &[code, rmi] : models) {
+        w.putU64(code);
+        const Rmi<u32>::Config &cfg = rmi->config();
+        w.putU64(cfg.leaf_size);
+        w.putU32(cfg.mlp_root ? 1 : 0);
+        w.putI32(cfg.hidden);
+        w.putI32(cfg.epochs);
+        w.putU64(cfg.train_cap);
+        w.putF64(cfg.lr);
+        w.putU64(cfg.seed);
+        w.putF64(rmi->lowKey());
+        w.putF64(rmi->normScale());
+        w.putF64(rmi->rootLinear().w);
+        w.putF64(rmi->rootLinear().b);
+        w.putU32(rmi->rootMlp() ? 1 : 0);
+        if (rmi->rootMlp())
+            putMlp(w, *rmi->rootMlp());
+        putLeaves(w, rmi->leafArray());
+    }
+    writeBlob(fb, kOccModelMeta, w);
+}
+
+std::vector<std::pair<Kmer, Rmi<u32>::Parts>>
+getNaiveModel(const FileView &view, const std::string &what)
+{
+    const std::vector<u8> blob = view.readBlob(kOccModelMeta);
+    BlobReader r(blob, what + " (naive model)");
+    const u64 n = r.getU64();
+    std::vector<std::pair<Kmer, Rmi<u32>::Parts>> models;
+    models.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+        const Kmer code = r.getU64();
+        Rmi<u32>::Parts parts;
+        parts.cfg.leaf_size = r.getU64();
+        parts.cfg.mlp_root = r.getU32() != 0;
+        parts.cfg.hidden = r.getI32();
+        parts.cfg.epochs = r.getI32();
+        parts.cfg.train_cap = r.getU64();
+        parts.cfg.lr = r.getF64();
+        parts.cfg.seed = r.getU64();
+        parts.lo = r.getF64();
+        parts.scale = r.getF64();
+        parts.root_lin.w = r.getF64();
+        parts.root_lin.b = r.getF64();
+        if (r.getU32() != 0)
+            parts.root_mlp = getMlp(r);
+        parts.leaves = getLeaves(r);
+        models.emplace_back(code, std::move(parts));
+    }
+    r.finish();
+    return models;
+}
+
+// --- 2-bit text packing -------------------------------------------------
+
+std::vector<u64>
+packText(std::span<const Base> text)
+{
+    std::vector<u64> words((text.size() + 31) / 32, 0);
+    for (size_t i = 0; i < text.size(); ++i)
+        words[i >> 5] |= u64{text[i] & 3u} << ((i & 31) * 2);
+    return words;
+}
+
+std::vector<Base>
+unpackText(std::span<const u64> words, u64 n, const std::string &what)
+{
+    if (words.size() != (n + 31) / 32)
+        throw LoadError(what + ": packed text holds " +
+                        std::to_string(words.size()) + " words for " +
+                        std::to_string(n) + " bases");
+    std::vector<Base> text(n);
+    for (u64 i = 0; i < n; ++i)
+        text[i] = static_cast<Base>((words[i >> 5] >> ((i & 31) * 2)) & 3);
+    return text;
+}
+
+// --- shard plan ---------------------------------------------------------
+
+void
+putPlan(BlobWriter &w, const ShardPlan &plan)
+{
+    w.putU64(plan.size());
+    for (const Shard &s : plan.shards()) {
+        w.putString(s.name);
+        w.putU64(s.begin);
+        w.putU64(s.length);
+    }
+    w.putU32(static_cast<u32>(plan.kind()));
+    w.putU64(plan.refLength());
+    w.putU64(plan.overlap());
+    w.putU64(plan.maxQueryLen());
+    w.putI32(plan.prefixLen());
+    w.putU64(plan.prefixRanges().size());
+    for (const PrefixRange &r : plan.prefixRanges()) {
+        w.putU64(r.lo);
+        w.putU64(r.hi);
+    }
+    if (plan.kind() == ShardPlanKind::KmerPrefix) {
+        for (size_t s = 0; s < plan.size(); ++s) {
+            const auto &segs = plan.segmentsOf(s);
+            w.putU64(segs.size());
+            for (const TextSegment &seg : segs) {
+                w.putU64(seg.global_begin);
+                w.putU64(seg.local_begin);
+                w.putU64(seg.length);
+            }
+        }
+    }
+}
+
+ShardPlan
+getPlan(BlobReader &r)
+{
+    const u64 n_shards = r.getU64();
+    std::vector<Shard> shards(n_shards);
+    for (Shard &s : shards) {
+        s.name = r.getString();
+        s.begin = r.getU64();
+        s.length = r.getU64();
+    }
+    const u32 kind_raw = r.getU32();
+    if (kind_raw > static_cast<u32>(ShardPlanKind::KmerPrefix))
+        throw LoadError("manifest: unknown shard-plan kind " +
+                        std::to_string(kind_raw));
+    const auto kind = static_cast<ShardPlanKind>(kind_raw);
+    const u64 ref_len = r.getU64();
+    const u64 overlap = r.getU64();
+    const u64 max_query_len = r.getU64();
+    const int prefix_len = r.getI32();
+    const u64 n_ranges = r.getU64();
+    std::vector<PrefixRange> ranges(n_ranges);
+    for (PrefixRange &pr : ranges) {
+        pr.lo = r.getU64();
+        pr.hi = r.getU64();
+    }
+    std::vector<std::vector<TextSegment>> segments;
+    if (kind == ShardPlanKind::KmerPrefix) {
+        segments.resize(n_shards);
+        for (auto &segs : segments) {
+            segs.resize(r.getU64());
+            for (TextSegment &seg : segs) {
+                seg.global_begin = r.getU64();
+                seg.local_begin = r.getU64();
+                seg.length = r.getU64();
+            }
+        }
+    }
+    return ShardPlan::restore(std::move(shards), kind, ref_len, overlap,
+                              max_query_len, prefix_len,
+                              std::move(ranges), std::move(segments));
+}
+
+// --- helpers ------------------------------------------------------------
+
+std::string
+shardStem(const std::string &dir, size_t i)
+{
+    std::string n = std::to_string(i);
+    if (n.size() < 4)
+        n.insert(0, 4 - n.size(), '0');
+    return dir + "/shard" + n;
+}
+
+void
+saveManifest(const std::string &dir, const BlobWriter &w)
+{
+    std::filesystem::create_directories(dir);
+    FileBuilder fb(kMagicManifest);
+    writeBlob(fb, kManifestMeta, w);
+    fb.save(dir + "/" + kManifestName);
+}
+
+/** Per-shard worker state bytes in a routed manifest. */
+constexpr u32 kShardEmpty = 0;
+constexpr u32 kShardScan = 1;
+constexpr u32 kShardTable = 2;
+
+/** The per-shard segment maps the building ShardRouter derives. */
+std::vector<std::vector<TextSegment>>
+routerSegments(const ShardPlan &plan)
+{
+    std::vector<std::vector<TextSegment>> segments(plan.size());
+    for (size_t s = 0; s < plan.size(); ++s) {
+        if (plan.kind() == ShardPlanKind::KmerPrefix) {
+            segments[s] = plan.segmentsOf(s);
+        } else {
+            const Shard &sh = plan.shards()[s];
+            segments[s] = {TextSegment{sh.begin, 0, sh.length}};
+        }
+    }
+    return segments;
+}
+
+} // namespace
+
+// --- single-table companion files ---------------------------------------
+
+void
+saveTableFiles(const ExmaTable &table, const std::string &stem,
+               std::span<const Base> local_text)
+{
+    const u64 local_len = table.rows() - 1;
+    exma_assert(local_text.empty() || local_text.size() == local_len,
+                "text echo holds %zu bases, the table covers %llu",
+                local_text.size(), (unsigned long long)local_len);
+
+    { // .exma.pac
+        FileBuilder fb(kMagicPac);
+        BlobWriter w;
+        putTableConfig(w, table.config());
+        w.putU64(local_len);
+        w.putU32(local_text.empty() ? 0 : 1);
+        writeBlob(fb, kPacMeta, w);
+        fb.writeArray<TextSegment>(kPacSegments, table.segments());
+        if (!local_text.empty()) {
+            const std::vector<u64> words = packText(local_text);
+            fb.writeArray<u64>(kPacText, words);
+        }
+        fb.save(stem + kExtPac);
+    }
+
+    { // .exma.occ
+        const KmerOccTable &occ = table.occTable();
+        FileBuilder fb(kMagicOcc);
+        BlobWriter w;
+        w.putI32(occ.k());
+        w.putU64(occ.rows());
+        w.putU64(occ.distinctKmers());
+        w.putU64(occ.sentinelWindows().size());
+        for (const auto &[code, row] : occ.sentinelWindows()) {
+            w.putU64(code);
+            w.putU32(row);
+        }
+        w.putU64(occ.sentinelThresholds().size());
+        for (const u64 t : occ.sentinelThresholds())
+            w.putU64(t);
+        w.putU32(static_cast<u32>(table.mode()));
+        writeBlob(fb, kOccMeta, w);
+        fb.writeArray<u32>(kOccBases, occ.baseArray());
+        fb.writeArray<u32>(kOccRows, occ.allIncrements());
+        if (table.mtlIndex() != nullptr)
+            putMtlModel(fb, *table.mtlIndex());
+        else if (table.naiveIndex() != nullptr)
+            putNaiveModel(fb, *table.naiveIndex());
+        fb.save(stem + kExtOcc);
+    }
+
+    { // .exma.sa
+        const FmIndex &fm = table.fmIndex();
+        FileBuilder fb(kMagicSa);
+        BlobWriter w;
+        w.putU32(fm.config().occ_sample);
+        w.putU32(fm.config().sa_sample);
+        w.putU64(fm.size());
+        for (const u64 c : fm.countArray())
+            w.putU64(c);
+        w.putU64(fm.packedRank().size());
+        w.putU64(fm.packedRank().primary());
+        w.putU64(fm.saSampled().size());
+        w.putU64(fm.saSampled().ones());
+        writeBlob(fb, kSaMeta, w);
+        fb.writeArray<PackedRank::Block>(kSaRankBlocks,
+                                         fm.packedRank().blocks());
+        fb.writeArray<u32>(kSaValues, fm.saValues());
+        fb.writeArray<u64>(kSaBvWords, fm.saSampled().words());
+        fb.writeArray<u64>(kSaBvSuper, fm.saSampled().superWords());
+        fb.save(stem + kExtSa);
+    }
+}
+
+void
+saveScanFiles(std::span<const Base> local_text,
+              const std::vector<TextSegment> &segments,
+              const std::string &stem)
+{
+    exma_assert(local_text.size() == segmentsLocalLength(segments),
+                "scan text holds %zu bases, its segment map %llu",
+                local_text.size(),
+                (unsigned long long)segmentsLocalLength(segments));
+    FileBuilder fb(kMagicPac);
+    BlobWriter w;
+    putTableConfig(w, ExmaTable::Config{}); // scan shards have no table
+    w.putU64(local_text.size());
+    w.putU32(1);
+    writeBlob(fb, kPacMeta, w);
+    fb.writeArray<TextSegment>(kPacSegments, segments);
+    const std::vector<u64> words = packText(local_text);
+    fb.writeArray<u64>(kPacText, words);
+    fb.save(stem + kExtPac);
+}
+
+LoadedExmaTable
+loadTableFiles(const std::string &stem)
+{
+    LoadedExmaTable out;
+    out.files.reserve(3);
+    out.files.emplace_back(stem + kExtPac);
+    out.files.emplace_back(stem + kExtOcc);
+    out.files.emplace_back(stem + kExtSa);
+    const FileView pac(out.files[0], kMagicPac);
+    const FileView occ(out.files[1], kMagicOcc);
+    const FileView sa(out.files[2], kMagicSa);
+
+    ExmaTable::Parts parts;
+
+    { // .exma.pac: config echo + segment map
+        const std::vector<u8> blob = pac.readBlob(kPacMeta);
+        BlobReader r(blob, stem + kExtPac);
+        parts.cfg = getTableConfig(r);
+        r.getU64(); // local text length (tooling)
+        r.getU32(); // has-text flag
+        r.finish();
+        const auto segs = pac.viewArray<TextSegment>(kPacSegments);
+        parts.segments.assign(segs.begin(), segs.end());
+    }
+
+    { // .exma.occ: the EXMA table
+        const std::vector<u8> blob = occ.readBlob(kOccMeta);
+        BlobReader r(blob, stem + kExtOcc);
+        KmerOccTable::Restored ro;
+        ro.k = r.getI32();
+        ro.n_rows = r.getU64();
+        ro.distinct = r.getU64();
+        ro.sentinel_windows.resize(r.getU64());
+        for (auto &[code, row] : ro.sentinel_windows) {
+            code = r.getU64();
+            row = r.getU32();
+        }
+        ro.sentinel_thresholds.resize(r.getU64());
+        for (u64 &t : ro.sentinel_thresholds)
+            t = r.getU64();
+        const u32 mode = r.getU32();
+        r.finish();
+        if (mode != static_cast<u32>(parts.cfg.mode))
+            throw LoadError(stem + kExtOcc +
+                            ": occ-index mode disagrees with the "
+                            "config echo in " +
+                            stem + kExtPac);
+        ro.bases = Storage<u32>::borrowed(occ.viewArray<u32>(kOccBases));
+        ro.rows = Storage<u32>::borrowed(occ.viewArray<u32>(kOccRows));
+        parts.occ = std::move(ro);
+    }
+
+    { // .exma.sa: the FM-index
+        const std::vector<u8> blob = sa.readBlob(kSaMeta);
+        BlobReader r(blob, stem + kExtSa);
+        FmIndex::Restored rf;
+        rf.cfg.occ_sample = r.getU32();
+        rf.cfg.sa_sample = r.getU32();
+        rf.n_rows = r.getU64();
+        for (u64 &c : rf.count)
+            c = r.getU64();
+        const u64 rank_n = r.getU64();
+        const u64 rank_primary = r.getU64();
+        const u64 bv_bits = r.getU64();
+        const u64 bv_ones = r.getU64();
+        r.finish();
+        rf.rank = PackedRank(
+            rank_n, rank_primary,
+            Storage<PackedRank::Block>::borrowed(
+                sa.viewArray<PackedRank::Block>(kSaRankBlocks)));
+        rf.sa_sampled = BitVector(
+            bv_bits, bv_ones,
+            Storage<u64>::borrowed(sa.viewArray<u64>(kSaBvWords)),
+            Storage<u64>::borrowed(sa.viewArray<u64>(kSaBvSuper)));
+        rf.sa_values =
+            Storage<u32>::borrowed(sa.viewArray<u32>(kSaValues));
+        parts.fm = std::move(rf);
+    }
+
+    switch (parts.cfg.mode) {
+    case OccIndexMode::Exact:
+        break;
+    case OccIndexMode::Mtl:
+        parts.mtl = getMtlModel(occ, parts.cfg.mtl, stem + kExtOcc);
+        break;
+    case OccIndexMode::NaiveLearned:
+        parts.naive = getNaiveModel(occ, stem + kExtOcc);
+        break;
+    }
+
+    out.table = std::make_unique<ExmaTable>(std::move(parts));
+    return out;
+}
+
+LoadedScanShard
+loadScanFiles(const std::string &stem)
+{
+    const MappedFile file(stem + kExtPac);
+    const FileView pac(file, kMagicPac);
+    const std::vector<u8> blob = pac.readBlob(kPacMeta);
+    BlobReader r(blob, stem + kExtPac);
+    getTableConfig(r); // config echo, unused for scan shards
+    const u64 local_len = r.getU64();
+    const u32 has_text = r.getU32();
+    r.finish();
+    if (has_text == 0)
+        throw LoadError(stem + kExtPac +
+                        ": scan shard carries no text echo");
+
+    LoadedScanShard out;
+    const auto segs = pac.viewArray<TextSegment>(kPacSegments);
+    out.segments.assign(segs.begin(), segs.end());
+    // Scan text is copied out (unpacking is a format change anyway),
+    // so the mapping can be dropped right here.
+    out.text = unpackText(pac.viewArray<u64>(kPacText), local_len,
+                          stem + kExtPac);
+    if (out.text.size() != segmentsLocalLength(out.segments))
+        throw LoadError(stem + kExtPac +
+                        ": text echo disagrees with the segment map");
+    return out;
+}
+
+// --- whole-index directories --------------------------------------------
+
+void
+saveIndex(const ExmaTable &table, std::span<const Base> local_text,
+          const std::string &dir)
+{
+    BlobWriter w;
+    w.putU32(static_cast<u32>(IndexKind::Mono));
+    saveManifest(dir, w);
+    saveTableFiles(table, dir + "/table", local_text);
+}
+
+void
+saveIndex(const ShardedExmaTable &sharded, const std::string &dir)
+{
+    BlobWriter w;
+    w.putU32(static_cast<u32>(IndexKind::ShardedText));
+    putTableConfig(w, sharded.config().table);
+    w.putU32(sharded.config().build_threads);
+    putPlan(w, sharded.plan());
+    saveManifest(dir, w);
+    for (size_t s = 0; s < sharded.shardCount(); ++s)
+        saveTableFiles(sharded.table(s), shardStem(dir, s));
+}
+
+void
+saveIndex(const ShardRouter &router, const std::string &dir)
+{
+    const ShardPlan &plan = router.plan();
+    BlobWriter w;
+    w.putU32(static_cast<u32>(IndexKind::Routed));
+    putTableConfig(w, router.config().table);
+    w.putU32(router.config().build_threads);
+    w.putU32(router.config().force_broadcast ? 1 : 0);
+    w.putU64(router.config().min_table_bases);
+    putPlan(w, plan);
+    w.putU64(plan.size());
+    for (size_t s = 0; s < plan.size(); ++s) {
+        const u32 state = router.shardTable(s) != nullptr ? kShardTable
+                          : !router.shardScanRef(s).empty() ? kShardScan
+                                                            : kShardEmpty;
+        w.putU32(state);
+    }
+    saveManifest(dir, w);
+    for (size_t s = 0; s < plan.size(); ++s) {
+        if (router.shardTable(s) != nullptr)
+            saveTableFiles(*router.shardTable(s), shardStem(dir, s));
+        else if (!router.shardScanRef(s).empty())
+            saveScanFiles(router.shardScanRef(s),
+                          router.shardSegments(s), shardStem(dir, s));
+    }
+}
+
+LoadedIndex
+loadIndex(const std::string &dir)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    LoadedIndex out;
+
+    const std::string manifest_path = dir + "/" + kManifestName;
+    const MappedFile manifest(manifest_path);
+    const FileView view(manifest, kMagicManifest);
+    const std::vector<u8> blob = view.readBlob(kManifestMeta);
+    BlobReader r(blob, manifest_path);
+
+    const u32 kind_raw = r.getU32();
+    if (kind_raw > static_cast<u32>(IndexKind::Routed))
+        throw LoadError(manifest_path + ": unknown index kind " +
+                        std::to_string(kind_raw));
+    out.kind = static_cast<IndexKind>(kind_raw);
+
+    switch (out.kind) {
+    case IndexKind::Mono: {
+        r.finish();
+        LoadedExmaTable t = loadTableFiles(dir + "/table");
+        out.files = std::move(t.files);
+        out.table = std::move(t.table);
+        break;
+    }
+    case IndexKind::ShardedText: {
+        ShardedExmaTable::Config cfg;
+        cfg.table = getTableConfig(r);
+        cfg.build_threads = r.getU32();
+        ShardPlan plan = getPlan(r);
+        r.finish();
+        std::vector<std::unique_ptr<ExmaTable>> tables;
+        tables.reserve(plan.size());
+        for (size_t s = 0; s < plan.size(); ++s) {
+            LoadedExmaTable t = loadTableFiles(shardStem(dir, s));
+            for (MappedFile &f : t.files)
+                out.files.push_back(std::move(f));
+            tables.push_back(std::move(t.table));
+        }
+        // load_seconds is stamped below; buildSeconds() reports the
+        // pre-adoption wall clock, which is what the benches record.
+        const auto t1 = std::chrono::steady_clock::now();
+        out.sharded = std::make_unique<ShardedExmaTable>(
+            std::move(plan), cfg, std::move(tables),
+            std::chrono::duration<double>(t1 - t0).count());
+        break;
+    }
+    case IndexKind::Routed: {
+        RouterConfig cfg;
+        cfg.table = getTableConfig(r);
+        cfg.build_threads = r.getU32();
+        cfg.force_broadcast = r.getU32() != 0;
+        cfg.min_table_bases = r.getU64();
+        ShardPlan plan = getPlan(r);
+        const u64 n_states = r.getU64();
+        if (n_states != plan.size())
+            throw LoadError(manifest_path + ": " +
+                            std::to_string(n_states) +
+                            " shard states for a " +
+                            std::to_string(plan.size()) + "-shard plan");
+        std::vector<u32> states(n_states);
+        for (u32 &s : states)
+            s = r.getU32();
+        r.finish();
+
+        std::vector<std::vector<TextSegment>> segments =
+            routerSegments(plan);
+        std::vector<std::unique_ptr<ExmaTable>> tables(plan.size());
+        std::vector<std::vector<Base>> scan_refs(plan.size());
+        for (size_t s = 0; s < plan.size(); ++s) {
+            switch (states[s]) {
+            case kShardEmpty:
+                break;
+            case kShardScan: {
+                LoadedScanShard scan = loadScanFiles(shardStem(dir, s));
+                if (scan.segments != segments[s])
+                    throw LoadError(shardStem(dir, s) + kExtPac +
+                                    ": segment map disagrees with the "
+                                    "manifest's plan");
+                scan_refs[s] = std::move(scan.text);
+                break;
+            }
+            case kShardTable: {
+                LoadedExmaTable t = loadTableFiles(shardStem(dir, s));
+                for (MappedFile &f : t.files)
+                    out.files.push_back(std::move(f));
+                tables[s] = std::move(t.table);
+                break;
+            }
+            default:
+                throw LoadError(manifest_path + ": unknown shard state " +
+                                std::to_string(states[s]));
+            }
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        out.router = std::make_unique<ShardRouter>(
+            std::move(plan), cfg, std::move(segments), std::move(tables),
+            std::move(scan_refs),
+            std::chrono::duration<double>(t1 - t0).count());
+        break;
+    }
+    }
+
+    const auto t_end = std::chrono::steady_clock::now();
+    out.load_seconds =
+        std::chrono::duration<double>(t_end - t0).count();
+    return out;
+}
+
+} // namespace exma

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Save / load of whole indexes through the `.exma.*` companion-file
+ * format (io/format.hh).
+ *
+ * One table is three files at a stem:
+ *
+ *   stem.exma.pac   table config echo, segment map, optional 2-bit text
+ *   stem.exma.occ   EXMA table: base pointers, increments, sentinels,
+ *                   and the trained learned-index model (MTL or naive)
+ *   stem.exma.sa    FM-index: packed-rank blocks, SA samples, sampled-
+ *                   row bit vector
+ *
+ * A whole index is a directory holding an `index.exma.manifest` (kind,
+ * configs, serialized ShardPlan, per-shard state) plus `table.exma.*`
+ * for a monolithic index or `shardNNNN.exma.*` per shard for sharded /
+ * routed ones (scan shards carry only the `.pac`).
+ *
+ * Loading mmaps the files read-only and points the restored structures'
+ * hot arrays straight into the mappings (common/storage.hh), so the
+ * Loaded* wrappers hold the MappedFiles alongside the structures and
+ * must stay alive as long as the index serves. Models are restored
+ * from their trained weights — nothing is retrained, so a loaded index
+ * answers bit-identically to the one that was saved.
+ */
+
+#ifndef EXMA_IO_INDEX_IO_HH
+#define EXMA_IO_INDEX_IO_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/exma_table.hh"
+#include "io/mapped_file.hh"
+#include "route/shard_router.hh"
+#include "shard/sharded_table.hh"
+
+namespace exma {
+
+/** Index kinds a directory manifest can describe. */
+enum class IndexKind : u32
+{
+    Mono = 0,        ///< one ExmaTable
+    ShardedText = 1, ///< ShardedExmaTable (broadcast serving)
+    Routed = 2,      ///< ShardRouter (prefix-routed serving)
+};
+
+/**
+ * Write @p table as stem.exma.{pac,occ,sa}. @p local_text is the text
+ * the table was built over (the segment extraction for segment-mapped
+ * tables, the whole reference otherwise); pass empty to omit the text
+ * echo — every table load works without it, it exists for tooling.
+ */
+void saveTableFiles(const ExmaTable &table, const std::string &stem,
+                    std::span<const Base> local_text = {});
+
+/**
+ * Write a table-less scan shard as stem.exma.pac only: its segment map
+ * plus the extracted local text the worker scans.
+ */
+void saveScanFiles(std::span<const Base> local_text,
+                   const std::vector<TextSegment> &segments,
+                   const std::string &stem);
+
+/** A loaded table plus the mappings its hot arrays are borrowed from. */
+struct LoadedExmaTable
+{
+    /** Declared before the table so the table is destroyed first. */
+    std::vector<MappedFile> files;
+    std::unique_ptr<ExmaTable> table;
+};
+
+/** Load stem.exma.{pac,occ,sa}; throws LoadError on any defect. */
+LoadedExmaTable loadTableFiles(const std::string &stem);
+
+/** Load a scan shard's stem.exma.pac: segment map + unpacked text. */
+struct LoadedScanShard
+{
+    std::vector<TextSegment> segments;
+    std::vector<Base> text;
+};
+LoadedScanShard loadScanFiles(const std::string &stem);
+
+/**
+ * Save a whole index into directory @p dir (created if absent):
+ * manifest + per-table companion files. The ExmaTable overload also
+ * takes the text it was built over for the `.pac` text echo (may be
+ * empty). The ShardedExmaTable / ShardRouter overloads read everything
+ * they need from the structures themselves.
+ */
+void saveIndex(const ExmaTable &table, std::span<const Base> local_text,
+               const std::string &dir);
+void saveIndex(const ShardedExmaTable &sharded, const std::string &dir);
+void saveIndex(const ShardRouter &router, const std::string &dir);
+
+/**
+ * A loaded index of any kind. Exactly one of table / sharded / router
+ * is set, matching kind. files backs every borrowed hot array and is
+ * declared first so the structures are destroyed before the mappings.
+ */
+struct LoadedIndex
+{
+    std::vector<MappedFile> files;
+    IndexKind kind = IndexKind::Mono;
+    std::unique_ptr<ExmaTable> table;
+    std::unique_ptr<ShardedExmaTable> sharded;
+    std::unique_ptr<ShardRouter> router;
+    /** Wall-clock seconds of the whole load (mmap + restore). */
+    double load_seconds = 0.0;
+};
+
+/**
+ * Load whatever index directory @p dir holds; throws LoadError on any
+ * defect (missing/truncated/corrupt/version-mismatched files). The
+ * sharded/routed structures report load_seconds as buildSeconds().
+ */
+LoadedIndex loadIndex(const std::string &dir);
+
+} // namespace exma
+
+#endif // EXMA_IO_INDEX_IO_HH

@@ -1,0 +1,89 @@
+#include "io/mapped_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace exma {
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &path, const char *what)
+{
+    throw LoadError(path + ": " + what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+MappedFile::MappedFile(const std::string &path)
+    : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY); // NOLINT(cppcoreguidelines-pro-type-vararg)
+    if (fd < 0)
+        throwErrno(path, "open");
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throwErrno(path, "fstat");
+    }
+    size_ = static_cast<u64>(st.st_size);
+    if (size_ == 0) {
+        // mmap(0) is EINVAL; an empty index file is corrupt anyway.
+        ::close(fd);
+        throw LoadError(path + ": empty file");
+    }
+    void *p = ::mmap(nullptr, size_, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping pins the file's pages; the descriptor is not needed
+    // after mmap succeeds (POSIX keeps the mapping valid).
+    const int saved = errno;
+    ::close(fd);
+    if (p == MAP_FAILED) { // NOLINT(performance-no-int-to-ptr)
+        errno = saved;
+        throwErrno(path, "mmap");
+    }
+    data_ = static_cast<const u8 *>(p);
+}
+
+MappedFile::~MappedFile()
+{
+    reset();
+}
+
+MappedFile::MappedFile(MappedFile &&o) noexcept
+    : path_(std::move(o.path_)), data_(o.data_), size_(o.size_)
+{
+    o.data_ = nullptr;
+    o.size_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&o) noexcept
+{
+    if (this != &o) {
+        reset();
+        path_ = std::move(o.path_);
+        data_ = o.data_;
+        size_ = o.size_;
+        o.data_ = nullptr;
+        o.size_ = 0;
+    }
+    return *this;
+}
+
+void
+MappedFile::reset() noexcept
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<u8 *>(data_), size_); // NOLINT(cppcoreguidelines-pro-type-const-cast)
+    data_ = nullptr;
+    size_ = 0;
+}
+
+} // namespace exma

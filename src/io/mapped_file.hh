@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Read-only memory mapping of an index companion file, plus the error
+ * type every load-path failure funnels through.
+ *
+ * A loaded index keeps its hot arrays borrowed (common/storage.hh)
+ * from these mappings, so the MappedFile must outlive the structures
+ * viewing it — the Loaded* wrappers in io/index_io.hh hold both. The
+ * mapping is MAP_SHARED of a read-only fd: N processes loading the
+ * same index share one physical page-cache copy of the arrays, the
+ * paper's "table resident in memory" serving model without per-process
+ * duplication.
+ */
+
+#ifndef EXMA_IO_MAPPED_FILE_HH
+#define EXMA_IO_MAPPED_FILE_HH
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace exma {
+
+/**
+ * Any defect found while loading an `.exma.*` file — missing file,
+ * short read, bad magic, version or endianness mismatch, checksum
+ * failure, malformed section geometry. Always thrown before any
+ * structure is built over the data, so corruption can never reach a
+ * query path.
+ */
+class LoadError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+
+    /** Map @p path read-only; throws LoadError on any failure. */
+    explicit MappedFile(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(MappedFile &&o) noexcept;
+    MappedFile &operator=(MappedFile &&o) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::string &path() const { return path_; }
+    const u8 *data() const { return data_; }
+    u64 size() const { return size_; }
+    std::span<const u8> bytes() const { return {data_, size_}; }
+
+  private:
+    void reset() noexcept;
+
+    std::string path_;
+    const u8 *data_ = nullptr;
+    u64 size_ = 0;
+};
+
+} // namespace exma
+
+#endif // EXMA_IO_MAPPED_FILE_HH

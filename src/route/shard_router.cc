@@ -79,7 +79,52 @@ ShardRouter::ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
     const auto t1 = std::chrono::steady_clock::now();
     build_seconds_ = std::chrono::duration<double>(t1 - t0).count();
 
-    for (size_t s = 0; s < n_shards; ++s)
+    spawnWorkers();
+}
+
+ShardRouter::ShardRouter(ShardPlan plan, RouterConfig cfg,
+                         std::vector<std::vector<TextSegment>> segments,
+                         std::vector<std::unique_ptr<ExmaTable>> tables,
+                         std::vector<std::vector<Base>> scan_refs,
+                         double load_seconds)
+    : plan_(std::move(plan)), cfg_(std::move(cfg)),
+      segments_(std::move(segments)), tables_(std::move(tables)),
+      scan_refs_(std::move(scan_refs)), build_seconds_(load_seconds)
+{
+    const size_t n_shards = plan_.size();
+    exma_assert(n_shards > 0, "shard plan holds no shards");
+    exma_assert(segments_.size() == n_shards &&
+                    tables_.size() == n_shards &&
+                    scan_refs_.size() == n_shards,
+                "adopted per-shard arrays disagree with the %zu-shard "
+                "plan",
+                n_shards);
+    for (size_t s = 0; s < n_shards; ++s) {
+        const u64 local = segmentsLocalLength(segments_[s]);
+        if (tables_[s]) {
+            exma_assert(scan_refs_[s].empty(),
+                        "shard %zu adopted both a table and a scan ref",
+                        s);
+            exma_assert(tables_[s]->rows() == local + 1,
+                        "adopted table for shard %zu covers %llu rows, "
+                        "its segment map holds %llu bases",
+                        s, (unsigned long long)tables_[s]->rows(),
+                        (unsigned long long)local);
+        } else {
+            exma_assert(scan_refs_[s].size() == local,
+                        "adopted scan ref for shard %zu holds %zu "
+                        "bases, its segment map %llu",
+                        s, scan_refs_[s].size(),
+                        (unsigned long long)local);
+        }
+    }
+    spawnWorkers();
+}
+
+void
+ShardRouter::spawnWorkers()
+{
+    for (size_t s = 0; s < plan_.size(); ++s)
         workers_.push_back(std::make_unique<ShardWorker>(
             plan_.shards()[s].name, tables_[s].get(),
             scan_refs_[s].empty() ? nullptr : &scan_refs_[s],

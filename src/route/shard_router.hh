@@ -98,10 +98,39 @@ class ShardRouter
     ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
                 const RouterConfig &cfg);
 
+    /**
+     * Adopt pre-restored per-shard state (src/io/index_io.cc) instead
+     * of building: @p segments / @p tables / @p scan_refs are
+     * index-parallel with @p plan's shards (a shard has a table, a
+     * scan ref, or neither — matching what the building constructor
+     * would have produced). Workers are spawned over the adopted
+     * state; @p load_seconds is reported as buildSeconds().
+     */
+    ShardRouter(ShardPlan plan, RouterConfig cfg,
+                std::vector<std::vector<TextSegment>> segments,
+                std::vector<std::unique_ptr<ExmaTable>> tables,
+                std::vector<std::vector<Base>> scan_refs,
+                double load_seconds);
+
     size_t shardCount() const { return workers_.size(); }
     const ShardPlan &plan() const { return plan_; }
     const RouterConfig &config() const { return cfg_; }
     const ShardWorker &worker(size_t i) const { return *workers_[i]; }
+
+    /** Shard @p i's table, or null for scan/empty shards (serialization). */
+    const ExmaTable *shardTable(size_t i) const { return tables_[i].get(); }
+
+    /** Shard @p i's extracted scan text (empty unless a scan shard). */
+    const std::vector<Base> &shardScanRef(size_t i) const
+    {
+        return scan_refs_[i];
+    }
+
+    /** Shard @p i's segment map (serialization). */
+    const std::vector<TextSegment> &shardSegments(size_t i) const
+    {
+        return segments_[i];
+    }
 
     /** Wall-clock seconds the (parallel) shard builds took. */
     double buildSeconds() const { return build_seconds_; }
@@ -131,6 +160,9 @@ class ShardRouter
                              SearchStats *stats = nullptr) const;
 
   private:
+    /** Spawn one worker per shard over segments_/tables_/scan_refs_. */
+    void spawnWorkers();
+
     ShardPlan plan_;
     RouterConfig cfg_;
     /** Per-shard segment maps (single whole-shard segment for text

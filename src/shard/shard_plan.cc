@@ -235,4 +235,57 @@ ShardPlan::perRecord(const std::vector<RecordSpan> &records)
     return plan;
 }
 
+ShardPlan
+ShardPlan::restore(std::vector<Shard> shards, ShardPlanKind kind,
+                   u64 ref_len, u64 overlap, u64 max_query_len,
+                   int prefix_len, std::vector<PrefixRange> prefix_ranges,
+                   std::vector<std::vector<TextSegment>> segments)
+{
+    ShardPlan plan;
+    plan.shards_ = std::move(shards);
+    plan.kind_ = kind;
+    plan.ref_len_ = ref_len;
+    plan.overlap_ = overlap;
+    plan.max_query_len_ = max_query_len;
+    plan.prefix_len_ = prefix_len;
+    plan.prefix_ranges_ = std::move(prefix_ranges);
+    plan.segments_ = std::move(segments);
+
+    exma_assert(!plan.shards_.empty(), "plan restore: no shards");
+    exma_assert(plan.ref_len_ > 0, "plan restore: empty reference");
+    if (plan.kind_ == ShardPlanKind::KmerPrefix) {
+        exma_assert(plan.prefix_len_ >= 1 &&
+                        plan.prefix_len_ <= kMaxPrefixLen,
+                    "plan restore: prefix_len %d out of range",
+                    plan.prefix_len_);
+        exma_assert(plan.prefix_ranges_.size() == plan.shards_.size() &&
+                        plan.segments_.size() == plan.shards_.size(),
+                    "plan restore: per-shard arrays disagree with the "
+                    "shard count");
+        // Ranges must be contiguous and cover the whole code space —
+        // the invariant ownerOf()'s binary search relies on.
+        Kmer expect = 0;
+        for (const PrefixRange &r : plan.prefix_ranges_) {
+            exma_assert(r.lo == expect && r.hi >= r.lo,
+                        "plan restore: prefix ranges not contiguous");
+            expect = r.hi;
+        }
+        exma_assert(expect == kmerSpace(plan.prefix_len_),
+                    "plan restore: prefix ranges do not cover the code "
+                    "space");
+        for (const auto &segs : plan.segments_)
+            validateSegments(segs, plan.ref_len_);
+    } else {
+        exma_assert(plan.prefix_ranges_.empty() &&
+                        plan.segments_.empty() && plan.prefix_len_ == 0,
+                    "plan restore: text plan carries prefix state");
+        for (const Shard &sh : plan.shards_)
+            exma_assert(sh.end() <= plan.ref_len_,
+                        "plan restore: shard '%s' runs past the "
+                        "reference",
+                        sh.name.c_str());
+    }
+    return plan;
+}
+
 } // namespace exma

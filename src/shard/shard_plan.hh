@@ -132,6 +132,17 @@ class ShardPlan
                                 unsigned n_shards, u64 max_query_len,
                                 int prefix_len = 0);
 
+    /**
+     * Reassemble a plan from its serialized members (src/io/
+     * index_io.cc) without re-deriving anything from the reference.
+     * Validates the cross-member invariants the factories guarantee.
+     */
+    static ShardPlan restore(std::vector<Shard> shards, ShardPlanKind kind,
+                             u64 ref_len, u64 overlap, u64 max_query_len,
+                             int prefix_len,
+                             std::vector<PrefixRange> prefix_ranges,
+                             std::vector<std::vector<TextSegment>> segments);
+
     const std::vector<Shard> &shards() const { return shards_; }
     size_t size() const { return shards_.size(); }
 

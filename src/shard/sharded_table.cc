@@ -80,6 +80,32 @@ ShardedExmaTable::ShardedExmaTable(const std::vector<Base> &ref,
     build_seconds_ = std::chrono::duration<double>(t1 - t0).count();
 }
 
+ShardedExmaTable::ShardedExmaTable(
+    ShardPlan plan, Config cfg,
+    std::vector<std::unique_ptr<ExmaTable>> tables, double load_seconds)
+    : plan_(std::move(plan)), cfg_(std::move(cfg)),
+      tables_(std::move(tables)), build_seconds_(load_seconds)
+{
+    exma_assert(plan_.kind() == ShardPlanKind::Text,
+                "ShardedExmaTable serves text-partitioned plans; "
+                "k-mer-prefix plans are served by ShardRouter "
+                "(src/route/)");
+    exma_assert(tables_.size() == plan_.size(),
+                "adopted %zu tables for a %zu-shard plan",
+                tables_.size(), plan_.size());
+    for (size_t i = 0; i < tables_.size(); ++i) {
+        exma_assert(tables_[i] != nullptr,
+                    "adopted table for shard %zu is null", i);
+        exma_assert(tables_[i]->rows() ==
+                        plan_.shards()[i].length + 1,
+                    "adopted table for shard '%s' covers %llu rows, "
+                    "the shard holds %llu bases",
+                    plan_.shards()[i].name.c_str(),
+                    (unsigned long long)tables_[i]->rows(),
+                    (unsigned long long)plan_.shards()[i].length);
+    }
+}
+
 u64
 ShardedExmaTable::totalRows() const
 {

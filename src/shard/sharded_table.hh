@@ -84,6 +84,16 @@ class ShardedExmaTable
     ShardedExmaTable(const std::vector<Base> &ref, const ShardPlan &plan,
                      const Config &cfg);
 
+    /**
+     * Adopt pre-restored per-shard tables (src/io/index_io.cc) instead
+     * of building: @p tables must be index-parallel with @p plan's
+     * shards. @p load_seconds (the mmap-load wall clock) is reported
+     * as buildSeconds() so bench plumbing reads one field either way.
+     */
+    ShardedExmaTable(ShardPlan plan, Config cfg,
+                     std::vector<std::unique_ptr<ExmaTable>> tables,
+                     double load_seconds);
+
     size_t shardCount() const { return tables_.size(); }
     const ShardPlan &plan() const { return plan_; }
     const ExmaTable &table(size_t i) const { return *tables_[i]; }

@@ -1,0 +1,102 @@
+// Storage<T> (common/storage.hh): the owned-vs-borrowed seam every
+// serialized structure's hot arrays sit behind. The subtle part is
+// copy/move of *owned* storage — the view must re-anchor at the new
+// vector's buffer, not follow the old one.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/storage.hh"
+
+namespace exma {
+namespace {
+
+TEST(StorageTest, DefaultIsEmptyOwned)
+{
+    const Storage<u32> s;
+    EXPECT_EQ(s.size(), 0u);
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.borrowed());
+}
+
+TEST(StorageTest, OwnedAdoptsVector)
+{
+    Storage<u32> s(std::vector<u32>{1, 2, 3});
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 1u);
+    EXPECT_EQ(s[2], 3u);
+    EXPECT_FALSE(s.borrowed());
+    EXPECT_EQ(s.data(), s.mutableData());
+}
+
+TEST(StorageTest, BorrowedViewsCallerMemory)
+{
+    const std::vector<u32> backing{7, 8, 9};
+    const Storage<u32> s = Storage<u32>::borrowed(backing);
+    EXPECT_TRUE(s.borrowed());
+    EXPECT_EQ(s.size(), 3u);
+    // Zero-copy: the storage reads the caller's buffer directly.
+    EXPECT_EQ(s.data(), backing.data());
+}
+
+TEST(StorageTest, CopyOfOwnedReanchorsView)
+{
+    Storage<u32> a(std::vector<u32>{1, 2, 3});
+    const Storage<u32> b = a; // NOLINT(performance-unnecessary-copy-initialization)
+    // The copy must view its own buffer, not a's.
+    EXPECT_NE(b.data(), a.data());
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b[1], 2u);
+}
+
+TEST(StorageTest, MoveOfOwnedReanchorsView)
+{
+    Storage<u32> a(std::vector<u32>{4, 5, 6});
+    const u32 *buf = a.data();
+    const Storage<u32> b = std::move(a);
+    // vector's buffer moves wholesale, and the view follows it.
+    EXPECT_EQ(b.data(), buf);
+    EXPECT_EQ(b.size(), 3u);
+    EXPECT_EQ(b[2], 6u);
+}
+
+TEST(StorageTest, CopyOfBorrowedKeepsTheBorrow)
+{
+    const std::vector<u32> backing{1, 2};
+    const Storage<u32> a = Storage<u32>::borrowed(backing);
+    const Storage<u32> b = a; // NOLINT(performance-unnecessary-copy-initialization)
+    EXPECT_TRUE(b.borrowed());
+    EXPECT_EQ(b.data(), backing.data());
+}
+
+TEST(StorageTest, MoveAssignOverOwned)
+{
+    Storage<u32> a(std::vector<u32>{1});
+    Storage<u32> b(std::vector<u32>{2, 3});
+    a = std::move(b);
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_EQ(a[0], 2u);
+    EXPECT_FALSE(a.borrowed());
+}
+
+TEST(StorageTest, SpanAndIterationAgree)
+{
+    const Storage<u32> s(std::vector<u32>{10, 20, 30});
+    u64 sum = 0;
+    for (const u32 v : s)
+        sum += v;
+    EXPECT_EQ(sum, 60u);
+    EXPECT_EQ(s.span().size(), 3u);
+    EXPECT_EQ(s.span().data(), s.data());
+}
+
+TEST(StorageDeathTest, MutatingBorrowedPanics)
+{
+    const std::vector<u32> backing{1};
+    Storage<u32> s = Storage<u32>::borrowed(backing);
+    EXPECT_DEATH(s.mutableData(), "borrowed");
+}
+
+} // namespace
+} // namespace exma

@@ -34,6 +34,17 @@ that code review alone won't keep enforced:
                      can prove every access; a bare std::mutex is
                      invisible to the analysis.
 
+  ondisk-pod-assert  every writeArray<T> / viewArray<T> call site (the
+                     persistent .exma.* format, src/io/format.hh) must
+                     static_assert sizeof(T) and
+                     std::is_trivially_copyable_v<T> in the same file.
+                     The arrays are mmap'd back and used in place, so a
+                     silent struct-layout change (a reordered member, a
+                     new field, a packing change) would reinterpret old
+                     files as garbage; the paired asserts turn that
+                     into a compile error at the write/read site,
+                     forcing the author to bump kFormatVersion.
+
 Usage:
     python3 tools/lint/exma_lint.py [--root DIR] [--list-rules]
 
@@ -303,6 +314,58 @@ def check_mutex_annotations(root):
 
 
 # --------------------------------------------------------------------------
+# Rule: ondisk-pod-assert
+# --------------------------------------------------------------------------
+
+# An explicit-template writeArray/viewArray call names the element type
+# that hits the disk; the definitions in src/io/format.hh take the type
+# from a deduced span and never match this pattern.
+ONDISK_CALL_RE = re.compile(
+    r"\b(?:writeArray|viewArray)\s*<\s*([A-Za-z_]\w*(?:::\w+)*)\s*>")
+
+ONDISK_SCAN_DIRS = ("src", "tests", "tools", "bench")
+
+
+def check_ondisk_pod_assert(root):
+    findings = []
+    for sub in ONDISK_SCAN_DIRS:
+        for rel in cxx_files_under(root, sub):
+            stripped = strip_comments_and_strings(
+                read_text(os.path.join(root, rel)))
+            first_use = {}
+            for line, m in iter_matches(ONDISK_CALL_RE, stripped):
+                first_use.setdefault(m.group(1), line)
+            for type_name in sorted(first_use):
+                escaped = re.escape(type_name)
+                has_size = re.search(
+                    r"static_assert\s*\(\s*sizeof\s*\(\s*%s\s*\)"
+                    % escaped, stripped)
+                has_triv = re.search(
+                    r"static_assert\s*\(\s*std::is_trivially_copyable_v"
+                    r"\s*<\s*%s\s*>" % escaped, stripped)
+                if has_size and has_triv:
+                    continue
+                missing = []
+                if not has_size:
+                    missing.append("static_assert(sizeof(%s) == ...)"
+                                   % type_name)
+                if not has_triv:
+                    missing.append(
+                        "static_assert(std::is_trivially_copyable_v<%s>)"
+                        % type_name)
+                findings.append(Finding(
+                    rel, first_use[type_name], "ondisk-pod-assert",
+                    "%s is written to / read from the on-disk .exma.* "
+                    "format but this file lacks %s — without the "
+                    "paired asserts a silent layout change corrupts "
+                    "existing index files instead of failing to "
+                    "compile (add the asserts, and bump kFormatVersion "
+                    "if the layout really changed)"
+                    % (type_name, " and ".join(missing))))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -311,6 +374,7 @@ RULES = {
     "bench-json": check_bench_json,
     "concurrency-label": check_concurrency_label,
     "mutex-annotations": check_mutex_annotations,
+    "ondisk-pod-assert": check_ondisk_pod_assert,
 }
 
 

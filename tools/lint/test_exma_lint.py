@@ -210,6 +210,78 @@ class HotCache
         self.assertEqual(self.rules("mutex-annotations"), [])
 
 
+class OndiskPodAssertTest(LintTestCase):
+
+    def test_write_site_without_asserts_is_flagged(self):
+        rel = self.tree.write("src/io/save_thing.cc", """\
+void saveThing(FileBuilder &fb, std::span<const Block> blocks)
+{
+    fb.writeArray<Block>(7, blocks);
+}
+""")
+        findings = self.rules("ondisk-pod-assert")
+        self.assertEqual(len(findings), 1, findings)
+        self.assertEqual((findings[0].rule, findings[0].path,
+                          findings[0].line),
+                         ("ondisk-pod-assert", rel, 3))
+        self.assertIn("sizeof(Block)", findings[0].message)
+        self.assertIn("is_trivially_copyable_v<Block>", findings[0].message)
+        self.assertIn("kFormatVersion", findings[0].message)
+
+    def test_half_asserted_type_names_the_missing_half(self):
+        self.tree.write("src/io/load_thing.cc", """\
+static_assert(sizeof(Block) == 32);
+std::span<const Block> loadThing(const FileView &view)
+{
+    return view.viewArray<Block>(7);
+}
+""")
+        findings = self.rules("ondisk-pod-assert")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("is_trivially_copyable_v<Block>",
+                      findings[0].message)
+        self.assertNotIn("sizeof(Block) == ...", findings[0].message)
+
+    def test_asserted_sites_pass_including_qualified_names(self):
+        self.tree.write("src/io/good.cc", """\
+static_assert(sizeof(u32) == 4);
+static_assert(std::is_trivially_copyable_v<u32>);
+static_assert(sizeof(PackedRank::Block) == 32,
+              "on-disk layout: bump kFormatVersion on change");
+static_assert(std::is_trivially_copyable_v<PackedRank::Block>);
+void save(FileBuilder &fb)
+{
+    fb.writeArray<u32>(1, bases);
+    fb.writeArray<PackedRank::Block>(2, blocks);
+}
+std::span<const u32> load(const FileView &view)
+{
+    return view.viewArray<u32>(1);
+}
+""")
+        # The template definitions themselves (deduced T, no explicit
+        # <Type> at a call) are out of scope.
+        self.tree.write("src/io/format.hh", """\
+template <typename T>
+void writeArray(u32 tag, std::span<const T> data)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+}
+""")
+        self.assertEqual(self.rules("ondisk-pod-assert"), [])
+
+    def test_tests_and_tools_are_in_scope(self):
+        rel = self.tree.write("tests/io/test_fmt.cc", """\
+TEST(Fmt, X)
+{
+    fb.writeArray<u64>(1, words);
+}
+""")
+        findings = self.rules("ondisk-pod-assert")
+        self.assertEqual(self.rule_ids(findings),
+                         [("ondisk-pod-assert", rel)])
+
+
 class StripperTest(LintTestCase):
 
     def test_stripping_preserves_line_numbers(self):
