@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Kill-loop soak for the replicated serving tier: a killer thread
+ * murders one random replica every EXMA_KILL_EVERY_S seconds (default
+ * 2) while the main thread serves batch after batch for EXMA_SOAK_S
+ * seconds (default 6; the nightly job runs 60). With R=2 replicas the
+ * contract is zero degradation: every batch's hit set must stay
+ * identical to the monolithic table's, with nothing flagged degraded —
+ * failover machinery firing is expected and tallied, wrong answers are
+ * fatal.
+ */
+
+#include "bench_util.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/rng.hh"
+#include "route/shard_router.hh"
+
+using namespace exma;
+
+namespace {
+
+double
+envSeconds(const char *name, double fallback)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup,
+    // before any worker thread exists; nothing writes the env.
+    const char *env = std::getenv(name);
+    const double v = env && *env ? std::atof(env) : fallback;
+    return v > 0.0 ? v : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::init(argc, argv);
+    const double soak_s = envSeconds("EXMA_SOAK_S", 6.0);
+    const double kill_every_s = envSeconds("EXMA_KILL_EVERY_S", 2.0);
+    bench::banner("Failover soak",
+                  "replica killed every " +
+                      TextTable::num(kill_every_s, 1) + " s for " +
+                      TextTable::num(soak_s, 0) +
+                      " s of continuous serving (human dataset)");
+
+    const Dataset &ds = bench::dataset("human");
+    const ExmaTable &table = bench::exmaTable("human", OccIndexMode::Mtl);
+    const u64 n_queries =
+        std::max<u64>(128, static_cast<u64>(1000.0 * bench::scale()));
+    const auto queries = bench::patterns(ds, n_queries);
+    const u64 query_len = queries.empty() ? 101 : queries[0].size();
+
+    std::vector<std::vector<u64>> expect_hits;
+    expect_hits.reserve(queries.size());
+    for (const auto &q : queries) {
+        auto hits = table.locateAll(table.search(q));
+        std::sort(hits.begin(), hits.end());
+        expect_hits.push_back(std::move(hits));
+    }
+
+    const auto plan = ShardPlan::kmerPrefix(ds.ref, 4, query_len);
+    RouterConfig rcfg;
+    rcfg.table = bench::exmaConfig(ds, OccIndexMode::Mtl);
+    rcfg.failover.replicas = 2;
+    rcfg.failover.supervisor_interval_ms = 5;
+    rcfg.failover.retry_backoff_ms = 1;
+    const ShardRouter router(ds.ref, plan, rcfg);
+
+    std::atomic<bool> stop{false};
+    std::atomic<u64> kills{0};
+    std::thread killer([&] {
+        Rng rng(20260808);
+        while (!stop.load(std::memory_order_relaxed)) {
+            const auto slept_until =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration<double>(kill_every_s);
+            while (!stop.load(std::memory_order_relaxed) &&
+                   std::chrono::steady_clock::now() < slept_until)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            if (stop.load(std::memory_order_relaxed))
+                break;
+            ReplicaSet &set =
+                router.replicaSet(rng.below(router.shardCount()));
+            set.killReplica(static_cast<unsigned>(rng.below(set.size())));
+            kills.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+
+    u64 batches = 0;
+    u64 bases = 0;
+    double serve_s = 0.0;
+    FailoverStats fired;
+    bool match = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+               .count() < soak_s) {
+        const RoutedResult r = router.search(queries);
+        ++batches;
+        bases += r.bases;
+        serve_s += r.seconds;
+        fired += r.failover;
+        if (r.hits != expect_hits || r.degraded_queries != 0) {
+            match = false;
+            break;
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    killer.join();
+
+    const double mbases =
+        serve_s > 0.0 ? static_cast<double>(bases) / serve_s / 1e6 : 0.0;
+    bench::note("soak_s", soak_s);
+    bench::note("soak_batches", static_cast<double>(batches));
+    bench::note("soak_kills", static_cast<double>(kills.load()));
+    bench::note("soak_respawns", static_cast<double>(fired.respawns));
+    bench::note("soak_retries", static_cast<double>(fired.retries));
+    bench::note("soak_worker_down", static_cast<double>(fired.worker_down));
+    bench::note("mbases_per_s_soak", mbases);
+
+    TextTable t;
+    t.header({"batches", "kills", "respawns", "retries", "worker_down",
+              "Mbases/s", "match"});
+    t.row({std::to_string(batches), std::to_string(kills.load()),
+           std::to_string(fired.respawns), std::to_string(fired.retries),
+           std::to_string(fired.worker_down), TextTable::num(mbases, 2),
+           match ? "yes" : "NO"});
+    bench::printTable(t, "failover soak");
+    std::cout << "\n(" << n_queries << "-query batches served "
+              << "back-to-back through 4 shards x 2 replicas while the "
+                 "killer thread works; any lost, duplicated or degraded "
+                 "query fails the run. Set EXMA_SOAK_S / "
+                 "EXMA_KILL_EVERY_S to stretch the soak.)\n";
+    if (!match) {
+        std::cerr << "FATAL: soak batch " << batches
+                  << " diverged from the single-table reference (or "
+                     "came back degraded) despite R=2 replicas\n";
+        return 1;
+    }
+    return 0;
+}

@@ -17,7 +17,10 @@ ungated, as before.
 Absolute bounds (--bound KEY=MAX, repeatable) fail when the current
 report's KEY exceeds MAX or is missing — the index-format CI tier uses
 `--bound index_load_ratio=0.10` to hold mmap-load cost under 10% of
-the table build it replaces, a runner-speed-independent ratio.
+the table build it replaces, a runner-speed-independent ratio. With at
+least one --bound, --baseline may be omitted entirely (bound-only
+mode): the nightly failover soak gates `failover_recovery_ms` this
+way, since an absolute latency promise needs no history.
 
 Exit codes:
   0  no regression
@@ -54,8 +57,12 @@ def main(argv=None):
         description="Fail when bench throughput regresses vs a baseline.")
     parser.add_argument("--current", required=True,
                         help="bench JSON produced by this run")
-    parser.add_argument("--baseline", required=True,
-                        help="committed baseline bench JSON")
+    parser.add_argument("--baseline",
+                        help="committed baseline bench JSON; may be "
+                             "omitted in bound-only mode (at least one "
+                             "--bound given), where the gate needs no "
+                             "history — the nightly failover soak bounds "
+                             "failover_recovery_ms this way")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop before failing "
                              "(default 0.25 = -25%%, absorbs runner noise)")
@@ -95,21 +102,27 @@ def main(argv=None):
             sep = ""
         if not sep or not key:
             parser.error(f"--bound expects KEY=MAX, got '{spec}'")
+    if args.baseline is None and not bounds:
+        parser.error("--baseline is required unless at least one "
+                     "--bound is given (bound-only mode)")
 
     cur_scale, current = load_report(args.current)
-    base_scale, baseline = load_report(args.baseline)
-    if cur_scale != base_scale and not args.allow_scale_mismatch:
-        print(f"error: scale mismatch: current ran at {cur_scale}, "
-              f"baseline at {base_scale}; refresh the baseline or pass "
-              f"--allow-scale-mismatch", file=sys.stderr)
-        return 2
+    baseline = {}
+    gated = {}
+    if args.baseline is not None:
+        base_scale, baseline = load_report(args.baseline)
+        if cur_scale != base_scale and not args.allow_scale_mismatch:
+            print(f"error: scale mismatch: current ran at {cur_scale}, "
+                  f"baseline at {base_scale}; refresh the baseline or "
+                  f"pass --allow-scale-mismatch", file=sys.stderr)
+            return 2
 
-    gated = {k: v for k, v in baseline.items()
-             if k.startswith(args.metric_prefix)}
-    if not gated:
-        print(f"error: baseline {args.baseline} holds no "
-              f"'{args.metric_prefix}*' metrics", file=sys.stderr)
-        return 2
+        gated = {k: v for k, v in baseline.items()
+                 if k.startswith(args.metric_prefix)}
+        if not gated:
+            print(f"error: baseline {args.baseline} holds no "
+                  f"'{args.metric_prefix}*' metrics", file=sys.stderr)
+            return 2
 
     failures = []
     print(f"{'metric':<28} {'baseline':>10} {'current':>10} {'delta':>8}")
@@ -181,8 +194,11 @@ def main(argv=None):
         print("If expected (e.g. a deliberate trade-off), refresh the "
               "baseline per bench/results/README.md.", file=sys.stderr)
         return 1
-    print(f"\nOK: {len(gated)} metric(s) within "
-          f"-{args.tolerance * 100:.0f}% of baseline")
+    if args.baseline is None:
+        print(f"\nOK: {len(bounds)} bound(s) satisfied (no baseline)")
+    else:
+        print(f"\nOK: {len(gated)} metric(s) within "
+              f"-{args.tolerance * 100:.0f}% of baseline")
     return 0
 
 

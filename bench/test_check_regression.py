@@ -221,6 +221,29 @@ class CheckRegressionTest(unittest.TestCase):
                                 "--bound", "index_load_ratio=0.10")
         self.assertEqual(proc.returncode, 1, proc.stderr)
 
+    def test_bound_only_mode_needs_no_baseline(self):
+        # The nightly failover soak gates an absolute recovery-time
+        # bound with no history to compare against.
+        notes = dict(BASELINE_NOTES, failover_recovery_ms=40.0)
+        cur = self.write("cur.json", report(notes=notes))
+        proc = subprocess.run(
+            [sys.executable, CHECKER, "--current", cur,
+             "--bound", "failover_recovery_ms=500"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no baseline", proc.stdout)
+        proc = subprocess.run(
+            [sys.executable, CHECKER, "--current", cur,
+             "--bound", "failover_recovery_ms=10"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("BOUND EXCEEDED", proc.stdout)
+        # Without any bound, omitting the baseline is a usage error.
+        proc = subprocess.run(
+            [sys.executable, CHECKER, "--current", cur],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
     def test_malformed_bound_is_usage_error(self):
         base = self.write("base.json", report(notes=BASELINE_NOTES))
         cur = self.write("cur.json", report(notes=BASELINE_NOTES))

@@ -73,6 +73,8 @@ BatchSearcher::run(const std::vector<std::vector<Base>> &queries,
                     }
                 }
             }
+            if (cfg_.progress)
+                cfg_.progress();
         },
         cfg_.threads);
     const auto t1 = std::chrono::steady_clock::now();

@@ -16,6 +16,7 @@
 #ifndef EXMA_BATCH_BATCH_SEARCHER_HH
 #define EXMA_BATCH_BATCH_SEARCHER_HH
 
+#include <functional>
 #include <vector>
 
 #include "common/dna.hh"
@@ -30,6 +31,14 @@ struct BatchConfig
     unsigned threads = 0;
     /** Queries per dynamically claimed chunk. */
     u64 grain = 16;
+    /**
+     * Liveness hook: called once per completed chunk, from whichever
+     * thread ran it. ShardWorker points this at its heartbeat counter
+     * so the WorkerSupervisor can tell a legitimately slow batch
+     * (heartbeat advancing) from a hung one (heartbeat frozen). Must
+     * be cheap and thread-safe; null = no calls.
+     */
+    std::function<void()> progress;
     /** Record per-query SearchStats too (costs one vector of stats). */
     bool per_query_stats = false;
     /**

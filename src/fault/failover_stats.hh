@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Failover counters for one routed search: how many replica-tier
+ * recovery mechanisms fired while producing the result. Mergeable
+ * value object in the SearchStats mould so callers can aggregate
+ * across batches with `+=`.
+ */
+
+#ifndef EXMA_FAULT_FAILOVER_STATS_HH
+#define EXMA_FAULT_FAILOVER_STATS_HH
+
+#include "common/types.hh"
+
+namespace exma {
+
+struct FailoverStats {
+    u64 retries = 0;         ///< resubmissions after a failed attempt
+    u64 hedges = 0;          ///< duplicate requests sent to stragglers
+    u64 respawns = 0;        ///< dead replicas replaced during the call
+    u64 worker_down = 0;     ///< WorkerDown responses observed
+    u64 failed = 0;          ///< Failed (exception) responses observed
+    u64 corrupt = 0;         ///< canary-mismatch responses discarded
+    u64 deadline_misses = 0; ///< shard calls abandoned at the deadline
+
+    FailoverStats &
+    operator+=(const FailoverStats &o)
+    {
+        retries += o.retries;
+        hedges += o.hedges;
+        respawns += o.respawns;
+        worker_down += o.worker_down;
+        failed += o.failed;
+        corrupt += o.corrupt;
+        deadline_misses += o.deadline_misses;
+        return *this;
+    }
+
+    friend FailoverStats
+    operator+(FailoverStats a, const FailoverStats &b)
+    {
+        a += b;
+        return a;
+    }
+
+    bool operator==(const FailoverStats &) const = default;
+
+    void reset() { *this = FailoverStats{}; }
+};
+
+} // namespace exma
+
+#endif // EXMA_FAULT_FAILOVER_STATS_HH

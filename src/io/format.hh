@@ -336,9 +336,20 @@ class BlobReader
     finish() const
     {
         if (pos_ != bytes_.size())
-            throw LoadError(what_ + ": " +
+            throw LoadError(context() + ": " +
                             std::to_string(bytes_.size() - pos_) +
                             " unconsumed metadata bytes");
+    }
+
+    /**
+     * Source label plus current byte offset ("file (blob) @+N") —
+     * decoding code folds this into its LoadErrors so a corrupt field
+     * names the companion file and where inside the blob it sat.
+     */
+    std::string
+    context() const
+    {
+        return what_ + " @+" + std::to_string(pos_);
     }
 
   private:
@@ -346,7 +357,10 @@ class BlobReader
     checkRemaining(u64 n) const
     {
         if (n > bytes_.size() - pos_)
-            throw LoadError(what_ + ": truncated metadata blob");
+            throw LoadError(context() + ": truncated metadata blob (" +
+                            std::to_string(n) + " bytes wanted, " +
+                            std::to_string(bytes_.size() - pos_) +
+                            " left)");
     }
     void
     getRaw(void *p, size_t n)

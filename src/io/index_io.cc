@@ -6,11 +6,42 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "fault/fault_injector.hh"
 #include "io/format.hh"
 
 namespace exma {
 
 namespace {
+
+/**
+ * Fault hook for the mmap load path (site "io.load"): a throw rule
+ * becomes a LoadError naming @p path, a delay rule a bounded sleep —
+ * so tests and the soak can exercise load failure/slowness during
+ * respawn without corrupting real files. Kill/hang/corrupt rules have
+ * no process to kill here and are ignored.
+ */
+void
+probeLoadFaults(const std::string &path)
+{
+    FaultInjector *fi = faultInjector();
+    if (fi == nullptr)
+        return;
+    for (const FaultAction &a : fi->at("io.load")) {
+        switch (a.kind) {
+        case FaultKind::ThrowInProcess:
+            throw LoadError(path + ": injected load fault");
+        case FaultKind::DelayMs: {
+            CancelToken token; // uncancellable here: plain bounded sleep
+            token.sleepFor(a.ms);
+            break;
+        }
+        case FaultKind::KillWorker:
+        case FaultKind::HangRequest:
+        case FaultKind::CorruptResponse:
+            break;
+        }
+    }
+}
 
 // On-disk element-layout contracts (lint: ondisk-pod-assert). Any
 // change to one of these sizes is a format change: bump kFormatVersion.
@@ -84,7 +115,8 @@ getTableConfig(BlobReader &r)
     cfg.k = r.getI32();
     const u32 mode = r.getU32();
     if (mode > static_cast<u32>(OccIndexMode::Mtl))
-        throw LoadError("config echo: unknown occ-index mode " +
+        throw LoadError(r.context() + ": config echo: unknown "
+                                      "occ-index mode " +
                         std::to_string(mode));
     cfg.mode = static_cast<OccIndexMode>(mode);
     cfg.mtl.min_increments = r.getU64();
@@ -131,7 +163,7 @@ getMlp(BlobReader &r)
         w1.size() != static_cast<size_t>(hidden) * in_dim ||
         b1.size() != static_cast<size_t>(hidden) ||
         w2.size() != static_cast<size_t>(hidden))
-        throw LoadError("malformed MLP weights in model blob");
+        throw LoadError(r.context() + ": malformed MLP weights");
     return {in_dim, hidden, std::move(w1), std::move(b1), std::move(w2),
             b2};
 }
@@ -353,7 +385,7 @@ getPlan(BlobReader &r)
     }
     const u32 kind_raw = r.getU32();
     if (kind_raw > static_cast<u32>(ShardPlanKind::KmerPrefix))
-        throw LoadError("manifest: unknown shard-plan kind " +
+        throw LoadError(r.context() + ": unknown shard-plan kind " +
                         std::to_string(kind_raw));
     const auto kind = static_cast<ShardPlanKind>(kind_raw);
     const u64 ref_len = r.getU64();
@@ -525,6 +557,7 @@ saveScanFiles(std::span<const Base> local_text,
 LoadedExmaTable
 loadTableFiles(const std::string &stem)
 {
+    probeLoadFaults(stem);
     LoadedExmaTable out;
     out.files.reserve(3);
     out.files.emplace_back(stem + kExtPac);
@@ -700,10 +733,12 @@ saveIndex(const ShardRouter &router, const std::string &dir)
 LoadedIndex
 loadIndex(const std::string &dir)
 {
+    installFaultInjectorFromEnvOnce();
     const auto t0 = std::chrono::steady_clock::now();
     LoadedIndex out;
 
     const std::string manifest_path = dir + "/" + kManifestName;
+    probeLoadFaults(manifest_path);
     const MappedFile manifest(manifest_path);
     const FileView view(manifest, kMagicManifest);
     const std::vector<u8> blob = view.readBlob(kManifestMeta);

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * R-way replication of one shard: a ReplicaSet owns R ShardWorkers
+ * serving the same prefix range off the same immutable shard state
+ * (table / scan reference / segment map — mmap-backed when the index
+ * was loaded, so a respawn is pointer reuse, not a rebuild; the
+ * software analogue of the paper's per-channel redundancy the hardware
+ * never needed).
+ *
+ * Routing is power-of-two-choices by inbox depth: pick() samples two
+ * live replicas and returns the shallower one, which keeps hot-prefix
+ * load spread without global coordination. Replica names are stable
+ * across respawns ("<shard>/r<i>"), so fault-injection sites and their
+ * hit counters survive a respawn — kill-every-Nth keeps firing on the
+ * replacement, which is exactly what the kill-loop soak wants.
+ *
+ * Health: superviseOnce() replaces dead replicas and puts down hung
+ * ones (inbox non-empty but heartbeat frozen past the timeout) before
+ * replacing them too. The router additionally calls reviveDead()
+ * inline on failover so a request never waits for the supervisor tick
+ * to find a live replica.
+ */
+
+#ifndef EXMA_ROUTE_REPLICA_SET_HH
+#define EXMA_ROUTE_REPLICA_SET_HH
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hh"
+#include "route/shard_worker.hh"
+
+namespace exma {
+
+class ReplicaSet
+{
+  public:
+    /**
+     * Spawns @p replicas workers named "<shard_name>/r<i>" over the
+     * shared shard state (same nullability contract as ShardWorker).
+     */
+    ReplicaSet(std::string shard_name, const ExmaTable *table,
+               const std::vector<Base> *scan_ref,
+               const std::vector<TextSegment> *segments, unsigned replicas);
+
+    ReplicaSet(const ReplicaSet &) = delete;
+    ReplicaSet &operator=(const ReplicaSet &) = delete;
+
+    const std::string &shardName() const { return shard_name_; }
+    unsigned size() const { return replica_count_; }
+
+    /**
+     * Power-of-two-choices: sample two live replicas, return the one
+     * with the shallower inbox. Falls back to reviving a dead replica
+     * inline when none is live — pick() always returns a worker that
+     * was live at selection time.
+     */
+    std::shared_ptr<ShardWorker> pick();
+
+    /** pick(), but avoiding @p not_this (for retries and hedges) when
+     *  any other live replica exists. */
+    std::shared_ptr<ShardWorker> pickOther(const ShardWorker *not_this);
+
+    /** Snapshot of replica @p i (present even when dead). */
+    std::shared_ptr<ShardWorker> replica(unsigned i) const;
+
+    /** Crash switch for tests, benches, and the kill-loop soak. */
+    void killReplica(unsigned i);
+
+    /** Respawn every dead replica now; returns how many. */
+    u64 reviveDead();
+
+    /**
+     * One supervisor pass: respawn dead replicas, and kill-then-respawn
+     * any replica whose inbox is non-empty but whose heartbeat has not
+     * moved for @p hang_timeout_ms. Returns respawn count.
+     */
+    u64 superviseOnce(u64 hang_timeout_ms);
+
+    /** Replicas respawned over the set's lifetime (monotonic). */
+    u64 respawns() const
+    {
+        return respawns_.load(std::memory_order_relaxed);
+    }
+
+    /** @{ Shard-state views, uniform across replicas. */
+    bool hasTable() const { return table_ != nullptr; }
+    bool isEmpty() const { return table_ == nullptr && scan_ref_ == nullptr; }
+    /** @} */
+
+    /** Requests served across all replicas, dead incarnations
+     *  included (monotonic). */
+    u64 processedTotal() const;
+
+  private:
+    std::shared_ptr<ShardWorker> spawnLocked(unsigned i)
+        EXMA_REQUIRES(mtx_);
+    u64 reviveDeadLocked() EXMA_REQUIRES(mtx_);
+    /** Uniform index in [0, n) off the lock-free pick sequence. */
+    u64 draw(u64 n);
+
+    const std::string shard_name_;
+    const ExmaTable *table_;
+    const std::vector<Base> *scan_ref_;
+    const std::vector<TextSegment> *segments_;
+    const unsigned replica_count_;
+
+    /** Per-replica heartbeat watermark for hang detection. */
+    struct Health
+    {
+        u64 heartbeat = 0;
+        std::chrono::steady_clock::time_point changed;
+    };
+
+    mutable Mutex mtx_;
+    std::vector<std::shared_ptr<ShardWorker>> replicas_
+        EXMA_GUARDED_BY(mtx_);
+    std::vector<Health> health_ EXMA_GUARDED_BY(mtx_);
+    std::atomic<u64> respawns_{0};
+    std::atomic<u64> retired_processed_{0};
+    std::atomic<u64> pick_seq_{0};
+};
+
+} // namespace exma
+
+#endif // EXMA_ROUTE_REPLICA_SET_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
@@ -10,6 +11,8 @@
 namespace exma {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 void
 checkQueries(const ShardPlan &plan,
@@ -31,12 +34,44 @@ checkQueries(const ShardPlan &plan,
     }
 }
 
+/** One submission of a shard call to a specific replica. */
+struct Attempt
+{
+    std::shared_ptr<ShardWorker> worker;
+    std::future<ShardWorker::Response> fut;
+};
+
+/** One shard's slice of the batch, across however many attempts its
+ *  resolution takes. */
+struct ShardCall
+{
+    size_t shard = 0;
+    std::vector<u32> ids; ///< kept for resubmission
+    std::vector<Attempt> attempts;
+    unsigned retries = 0;
+    bool hedged = false;
+    bool done = false;
+    bool failed = false; ///< done without a verified response
+    ShardWorker::Response resp; ///< the accepted response iff !failed
+    Clock::time_point last_submit;
+};
+
+bool
+anyAttemptInFlight(const ShardCall &c)
+{
+    for (const Attempt &a : c.attempts)
+        if (a.fut.valid())
+            return true;
+    return false;
+}
+
 } // namespace
 
 ShardRouter::ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
                          const RouterConfig &cfg)
     : plan_(plan), cfg_(cfg)
 {
+    installFaultInjectorFromEnvOnce();
     exma_assert(plan_.size() > 0, "shard plan holds no shards");
     exma_assert(plan_.refLength() == ref.size(),
                 "shard plan covers %llu bases but the reference holds "
@@ -60,7 +95,7 @@ ShardRouter::ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
 
     tables_.resize(n_shards);
     scan_refs_.resize(n_shards);
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
     parallelFor(
         n_shards, 1,
         [&](u64 begin, u64 end, unsigned) {
@@ -76,10 +111,10 @@ ShardRouter::ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
             }
         },
         cfg_.build_threads);
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = Clock::now();
     build_seconds_ = std::chrono::duration<double>(t1 - t0).count();
 
-    spawnWorkers();
+    spawnReplicas();
 }
 
 ShardRouter::ShardRouter(ShardPlan plan, RouterConfig cfg,
@@ -91,6 +126,7 @@ ShardRouter::ShardRouter(ShardPlan plan, RouterConfig cfg,
       segments_(std::move(segments)), tables_(std::move(tables)),
       scan_refs_(std::move(scan_refs)), build_seconds_(load_seconds)
 {
+    installFaultInjectorFromEnvOnce();
     const size_t n_shards = plan_.size();
     exma_assert(n_shards > 0, "shard plan holds no shards");
     exma_assert(segments_.size() == n_shards &&
@@ -118,17 +154,27 @@ ShardRouter::ShardRouter(ShardPlan plan, RouterConfig cfg,
                         (unsigned long long)local);
         }
     }
-    spawnWorkers();
+    spawnReplicas();
 }
 
 void
-ShardRouter::spawnWorkers()
+ShardRouter::spawnReplicas()
 {
     for (size_t s = 0; s < plan_.size(); ++s)
-        workers_.push_back(std::make_unique<ShardWorker>(
+        sets_.push_back(std::make_unique<ReplicaSet>(
             plan_.shards()[s].name, tables_[s].get(),
             scan_refs_[s].empty() ? nullptr : &scan_refs_[s],
-            &segments_[s]));
+            &segments_[s], cfg_.failover.replicas));
+    if (cfg_.failover.supervisor_interval_ms > 0) {
+        std::vector<ReplicaSet *> raw;
+        raw.reserve(sets_.size());
+        for (const auto &set : sets_)
+            raw.push_back(set.get());
+        supervisor_ = std::make_unique<WorkerSupervisor>(
+            std::move(raw),
+            WorkerSupervisor::Config{cfg_.failover.supervisor_interval_ms,
+                                     cfg_.failover.hang_timeout_ms});
+    }
 }
 
 u64
@@ -156,25 +202,27 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
 {
     checkQueries(plan_, queries);
 
+    const FailoverConfig &fo = cfg_.failover;
     RoutedResult out;
     out.queries = queries.size();
     out.hits.resize(queries.size());
-    out.per_shard.assign(workers_.size(), SearchStats{});
+    out.degraded.assign(queries.size(), 0);
+    out.per_shard.assign(sets_.size(), SearchStats{});
     for (const auto &q : queries)
         out.bases += q.size();
 
     const bool broadcast_only =
         cfg_.force_broadcast || plan_.kind() != ShardPlanKind::KmerPrefix;
 
-    const auto t0 = std::chrono::steady_clock::now();
+    const auto t0 = Clock::now();
 
     // Classify: one id list per shard, and per query the number of
     // shards serving it (hits from fan-out > 1 need deduplication).
-    std::vector<std::vector<u32>> ids(workers_.size());
+    std::vector<std::vector<u32>> ids(sets_.size());
     std::vector<u8> fanout(queries.size(), 0);
     for (size_t i = 0; i < queries.size(); ++i) {
         size_t first = 0;
-        size_t last = workers_.size() - 1;
+        size_t last = sets_.size() - 1;
         if (!broadcast_only) {
             const PrefixRange r = plan_.queryPrefixRange(
                 queries[i].data(), queries[i].size());
@@ -190,25 +238,179 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
             ++out.broadcast_queries;
     }
 
-    // Fan out: every worker with work gets one request on its inbox;
-    // the workers' dedicated threads run concurrently.
-    std::vector<std::future<ShardWorker::Response>> futures(
-        workers_.size());
-    for (size_t s = 0; s < workers_.size(); ++s) {
+    u64 respawns_before = 0;
+    for (const auto &set : sets_)
+        respawns_before += set->respawns();
+
+    // Fan out: every shard with work becomes one ShardCall submitted
+    // to a P2C-picked replica; the replicas' dedicated threads run
+    // concurrently.
+    std::vector<ShardCall> calls;
+    calls.reserve(sets_.size());
+    for (size_t s = 0; s < sets_.size(); ++s) {
         if (ids[s].empty())
             continue;
-        futures[s] = workers_[s]->submit(
-            {&queries, std::move(ids[s]), cfg});
+        ShardCall c;
+        c.shard = s;
+        c.ids = std::move(ids[s]);
+        calls.push_back(std::move(c));
     }
+    const auto submitTo = [&queries, &cfg](ShardCall &c,
+                                           std::shared_ptr<ShardWorker> w) {
+        Attempt at;
+        at.fut = w->submit({&queries, c.ids, cfg});
+        at.worker = std::move(w);
+        c.attempts.push_back(std::move(at));
+        c.last_submit = Clock::now();
+    };
+    for (ShardCall &c : calls)
+        submitTo(c, sets_[c.shard]->pick());
+
+    // Gather with failover. Every future wait is bounded (wait_for);
+    // a .get() only ever follows an observed ready state.
+    const bool bounded = fo.deadline_ms > 0;
+    const auto deadline = t0 + std::chrono::milliseconds(fo.deadline_ms);
+    size_t open = calls.size();
+    while (open > 0) {
+        if (bounded && Clock::now() >= deadline) {
+            for (ShardCall &c : calls) {
+                if (c.done)
+                    continue;
+                c.done = true;
+                c.failed = true;
+                --open;
+                ++out.failover.deadline_misses;
+            }
+            break;
+        }
+
+        bool progressed = false;
+        for (ShardCall &c : calls) {
+            if (c.done)
+                continue;
+            // Poll every in-flight attempt; first verified Ok wins.
+            for (Attempt &at : c.attempts) {
+                if (!at.fut.valid())
+                    continue;
+                if (at.fut.wait_for(std::chrono::seconds(0)) !=
+                    std::future_status::ready)
+                    continue;
+                ShardWorker::Response r = at.fut.get();
+                progressed = true;
+                if (r.ok() &&
+                    ShardWorker::responseCanary(r) == r.canary) {
+                    c.resp = std::move(r);
+                    c.done = true;
+                    --open;
+                    break;
+                }
+                switch (r.status) {
+                case ShardWorker::Status::WorkerDown:
+                    ++out.failover.worker_down;
+                    break;
+                case ShardWorker::Status::Failed:
+                    ++out.failover.failed;
+                    break;
+                case ShardWorker::Status::Ok: // canary mismatch
+                    ++out.failover.corrupt;
+                    break;
+                }
+            }
+            if (c.done)
+                continue;
+
+            if (!anyAttemptInFlight(c)) {
+                // Every attempt came back bad: retry on another
+                // replica, or give up and degrade.
+                if (c.retries >= fo.max_retries) {
+                    c.done = true;
+                    c.failed = true;
+                    --open;
+                    continue;
+                }
+                const u64 backoff = fo.retry_backoff_ms
+                                        ? fo.retry_backoff_ms
+                                              << c.retries
+                                        : 0;
+                ++c.retries;
+                ++out.failover.retries;
+                if (backoff)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(backoff));
+                sets_[c.shard]->reviveDead();
+                const ShardWorker *last =
+                    c.attempts.back().worker.get();
+                submitTo(c, sets_[c.shard]->pickOther(last));
+                progressed = true;
+            } else if (fo.hedge_ms > 0 && !c.hedged &&
+                       sets_[c.shard]->size() > 1 &&
+                       Clock::now() - c.last_submit >=
+                           std::chrono::milliseconds(fo.hedge_ms)) {
+                // Straggler: duplicate on a second replica.
+                c.hedged = true;
+                ++out.failover.hedges;
+                const ShardWorker *primary =
+                    c.attempts.back().worker.get();
+                submitTo(c, sets_[c.shard]->pickOther(primary));
+                progressed = true;
+            }
+        }
+
+        if (open > 0 && !progressed) {
+            // Nothing resolved this sweep: block briefly on one
+            // in-flight future instead of spinning. The slice keeps
+            // deadline/hedge checks responsive.
+            for (ShardCall &c : calls) {
+                if (c.done)
+                    continue;
+                bool waited = false;
+                for (Attempt &at : c.attempts) {
+                    if (!at.fut.valid())
+                        continue;
+                    at.fut.wait_for(std::chrono::milliseconds(2));
+                    waited = true;
+                    break;
+                }
+                if (waited)
+                    break;
+            }
+        }
+    }
+
+    // Reap: every still-outstanding attempt (hedge losers, abandoned
+    // deadline-missed calls) must resolve before we return — its
+    // worker may still be reading the caller's query batch. A worker
+    // that stays unresponsive past the hang timeout is killed, which
+    // cancels injected sleeps and resolves its inbox as WorkerDown.
+    for (ShardCall &c : calls) {
+        for (Attempt &at : c.attempts) {
+            if (!at.fut.valid())
+                continue;
+            u64 waited_ms = 0;
+            while (at.fut.wait_for(std::chrono::milliseconds(10)) !=
+                   std::future_status::ready) {
+                waited_ms += 10;
+                if (waited_ms >= fo.hang_timeout_ms)
+                    at.worker->kill(); // idempotent
+            }
+            at.fut.get(); // discard the duplicate/late response
+        }
+        if (c.failed) {
+            for (const u32 id : c.ids)
+                out.degraded[id] = 1;
+        }
+    }
+    for (const u8 d : out.degraded)
+        out.degraded_queries += d;
 
     // Merge: single-owner hits move straight in (already sorted and
     // duplicate-free within one shard); fanned-out queries collect all
     // owners' hits and dedup below.
-    for (size_t s = 0; s < workers_.size(); ++s) {
-        if (!futures[s].valid())
+    for (ShardCall &c : calls) {
+        if (c.failed)
             continue;
-        ShardWorker::Response resp = futures[s].get();
-        out.per_shard[s] = resp.stats;
+        ShardWorker::Response &resp = c.resp;
+        out.per_shard[c.shard] = resp.stats;
         for (size_t j = 0; j < resp.ids.size(); ++j) {
             auto &dst = out.hits[resp.ids[j]];
             if (dst.empty())
@@ -239,7 +441,12 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
             },
             cfg.threads);
     }
-    const auto t1 = std::chrono::steady_clock::now();
+    const auto t1 = Clock::now();
+
+    u64 respawns_after = 0;
+    for (const auto &set : sets_)
+        respawns_after += set->respawns();
+    out.failover.respawns = respawns_after - respawns_before;
 
     out.seconds = std::chrono::duration<double>(t1 - t0).count();
     for (const SearchStats &s : out.per_shard)

@@ -1,18 +1,28 @@
 /**
  * @file
  * Prefix-routed sharded serving: the front end that makes shard count
- * buy throughput instead of costing it.
+ * buy throughput instead of costing it — and survives the workers it
+ * buys it from.
  *
  * PR 4's ShardedExmaTable fans every query across every shard, so one
  * core does shard-count times the work per query. The ShardRouter
  * instead serves a kmerPrefix ShardPlan: a query's first prefixLen()
  * bases name the one shard owning every position its matches can start
- * at, so the router classifies a batch by prefix, hands each
- * ShardWorker only the queries it owns, and merges the responses with
+ * at, so the router classifies a batch by prefix, hands each shard's
+ * ReplicaSet only the queries it owns, and merges the responses with
  * the same dedup/global-cap machinery ShardedExmaTable uses. Queries
  * shorter than the routing prefix whose padded code range straddles a
  * partition boundary fall back to a broadcast across the straddled
  * shards (their matches' owners all lie in that range).
+ *
+ * Fault tolerance (RouterConfig::failover): each prefix range is
+ * served by an R-way ReplicaSet with power-of-two-choices routing, a
+ * WorkerSupervisor respawns dead/hung replicas in the background, and
+ * search() itself retries failed shard calls on a different replica
+ * with backoff, hedges stragglers, and — when a range stays down past
+ * the per-request deadline — returns partial results with the
+ * affected queries flagged in RoutedResult::degraded instead of
+ * blocking. What fired is tallied in RoutedResult::failover.
  *
  * Text-partitioned plans are also accepted and served broadcast-only
  * through the same workers, so routed-vs-broadcast comparisons run on
@@ -20,11 +30,12 @@
  *
  * Thread-safety analysis: search() is const and keeps all cross-thread
  * traffic inside annotated machinery — requests ride the workers'
- * annotated inbox queues, responses come back through futures, and the
- * merge writes out.hits on the calling thread only (the dedup/cap
- * parallelFor touches disjoint queries per chunk). The router itself
- * therefore has no EXMA_GUARDED_BY state; new mutable members (e.g. a
- * hot-k-mer result cache) must bring an exma::Mutex and annotations.
+ * annotated inbox queues, responses come back through futures, replica
+ * swaps stay behind ReplicaSet's annotated mutex, and the merge writes
+ * out.hits on the calling thread only (the dedup/cap parallelFor
+ * touches disjoint queries per chunk). The router itself therefore has
+ * no EXMA_GUARDED_BY state; new mutable members (e.g. a hot-k-mer
+ * result cache) must bring an exma::Mutex and annotations.
  */
 
 #ifndef EXMA_ROUTE_SHARD_ROUTER_HH
@@ -33,10 +44,48 @@
 #include <memory>
 #include <vector>
 
-#include "route/shard_worker.hh"
+#include "fault/failover_stats.hh"
+#include "route/replica_set.hh"
+#include "route/worker_supervisor.hh"
 #include "shard/shard_plan.hh"
 
 namespace exma {
+
+/**
+ * Replication and failover policy for the serving tier. Defaults are
+ * the pre-replication behaviour: one replica, no deadline, but retries
+ * enabled — even an R=1 router recovers from a killed worker by
+ * reviving it and resubmitting.
+ */
+struct FailoverConfig
+{
+    /** Workers per shard. 1 = no redundancy (still self-healing). */
+    unsigned replicas = 1;
+    /**
+     * Per-search wall-clock budget in ms; 0 = none. When it expires,
+     * unresolved shard calls are abandoned and their queries come back
+     * flagged degraded rather than blocking the caller.
+     */
+    u64 deadline_ms = 0;
+    /** Resubmissions per shard call after a failed attempt. */
+    unsigned max_retries = 2;
+    /** First retry backoff in ms (doubles per retry; 0 = immediate). */
+    u64 retry_backoff_ms = 2;
+    /**
+     * Hedge threshold in ms; 0 = off. A shard call still unresolved
+     * this long after submission is duplicated on a second replica and
+     * the first Ok response wins (classic tail-at-scale hedging).
+     */
+    u64 hedge_ms = 0;
+    /** Supervisor sweep period in ms; 0 = no supervisor thread. */
+    u64 supervisor_interval_ms = 20;
+    /**
+     * A replica with queued work whose heartbeat stalls this long is
+     * declared hung, killed, and respawned (by the supervisor, or by
+     * the router's reap path when no supervisor runs).
+     */
+    u64 hang_timeout_ms = 1000;
+};
 
 struct RouterConfig
 {
@@ -54,6 +103,8 @@ struct RouterConfig
      * direct segment scanning instead of an ExmaTable of their own.
      */
     u64 min_table_bases = ShardPlan::kMinShardBases;
+    /** Replication / failover policy (see FailoverConfig). */
+    FailoverConfig failover;
 };
 
 /** Outcome of one routed batch: index-aligned with the input queries. */
@@ -61,8 +112,17 @@ struct RoutedResult
 {
     /** Per query: sorted, deduplicated global match positions. */
     std::vector<std::vector<u64>> hits;
+    /**
+     * Per query: 1 when at least one owner shard never produced a
+     * verified response (all replicas down past the deadline/retry
+     * budget), so hits[i] may be incomplete. Always all-zero when the
+     * batch completed cleanly.
+     */
+    std::vector<u8> degraded;
+    u64 degraded_queries = 0; ///< number of 1s in degraded
     SearchStats stats;                  ///< merged across all shards
     std::vector<SearchStats> per_shard; ///< one per shard, in plan order
+    FailoverStats failover; ///< recovery machinery fired for this batch
     u64 queries = 0;
     u64 bases = 0;             ///< total query symbols searched
     u64 routed_queries = 0;    ///< served by exactly one shard
@@ -91,9 +151,11 @@ class ShardRouter
 {
   public:
     /**
-     * Build one worker per shard of @p plan over @p ref: segment-mapped
-     * ExmaTables built pool-parallel for indexable shards, scan workers
-     * for tiny ones, hitless workers for empty prefix ranges.
+     * Build one replica set per shard of @p plan over @p ref:
+     * segment-mapped ExmaTables built pool-parallel for indexable
+     * shards, scan workers for tiny ones, hitless workers for empty
+     * prefix ranges. Replicas share the shard state; only workers are
+     * duplicated.
      */
     ShardRouter(const std::vector<Base> &ref, const ShardPlan &plan,
                 const RouterConfig &cfg);
@@ -112,10 +174,17 @@ class ShardRouter
                 std::vector<std::vector<Base>> scan_refs,
                 double load_seconds);
 
-    size_t shardCount() const { return workers_.size(); }
+    size_t shardCount() const { return sets_.size(); }
     const ShardPlan &plan() const { return plan_; }
     const RouterConfig &config() const { return cfg_; }
-    const ShardWorker &worker(size_t i) const { return *workers_[i]; }
+
+    /**
+     * Shard @p i's replica set. Non-const ref from a const router:
+     * ReplicaSet is internally synchronized, and callers (tests,
+     * benches, the kill-loop soak) use it to kill/inspect replicas
+     * while searches run.
+     */
+    ReplicaSet &replicaSet(size_t i) const { return *sets_[i]; }
 
     /** Shard @p i's table, or null for scan/empty shards (serialization). */
     const ExmaTable *shardTable(size_t i) const { return tables_[i].get(); }
@@ -147,10 +216,20 @@ class ShardRouter
 
     /**
      * Classify @p queries by prefix, run each on its owner shard(s)
-     * through the workers, and merge into global positions. Queries
-     * must be non-empty and no longer than plan().maxQueryLen().
-     * cfg.locate_limit applies globally after the merge, as in
-     * ShardedExmaTable::search.
+     * through the replica tier, and merge into global positions.
+     * Queries must be non-empty and no longer than
+     * plan().maxQueryLen(). cfg.locate_limit applies globally after
+     * the merge, as in ShardedExmaTable::search.
+     *
+     * Failover contract: a shard call that fails (worker down, thrown
+     * exception, corrupt canary) is retried on a different replica up
+     * to failover.max_retries times with doubling backoff; calls still
+     * unresolved failover.hedge_ms after submission are hedged. When a
+     * call exhausts its budget — or failover.deadline_ms expires — its
+     * queries are flagged in RoutedResult::degraded and whatever the
+     * other shards produced is returned. Queries are never lost and
+     * never double-merged: exactly one verified response per shard
+     * call is accepted.
      */
     RoutedResult search(const std::vector<std::vector<Base>> &queries,
                         const BatchConfig &cfg = {}) const;
@@ -160,8 +239,9 @@ class ShardRouter
                              SearchStats *stats = nullptr) const;
 
   private:
-    /** Spawn one worker per shard over segments_/tables_/scan_refs_. */
-    void spawnWorkers();
+    /** Spawn the replica sets over segments_/tables_/scan_refs_, plus
+     *  the supervisor when configured. */
+    void spawnReplicas();
 
     ShardPlan plan_;
     RouterConfig cfg_;
@@ -170,7 +250,9 @@ class ShardRouter
     std::vector<std::vector<TextSegment>> segments_;
     std::vector<std::unique_ptr<ExmaTable>> tables_;
     std::vector<std::vector<Base>> scan_refs_;
-    std::vector<std::unique_ptr<ShardWorker>> workers_;
+    std::vector<std::unique_ptr<ReplicaSet>> sets_;
+    /** Declared after sets_ so it stops sweeping before they die. */
+    std::unique_ptr<WorkerSupervisor> supervisor_;
     double build_seconds_ = 0.0;
 };
 

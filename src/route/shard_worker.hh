@@ -1,39 +1,56 @@
 /**
  * @file
  * One shard's execution engine behind a message-passing seam: a
- * ShardWorker owns a dedicated ThreadPool thread whose task queue is
- * the worker's inbox. Callers submit a Request (a view of a shared
- * query batch plus the ids this shard should serve) and get a
- * completion future; the worker thread drains its inbox in order and
- * fulfils each future with translated global hit positions.
+ * ShardWorker owns a dedicated thread whose work queue is the worker's
+ * inbox. Callers submit a Request (a view of a shared query batch plus
+ * the ids this shard should serve) and get a completion future; the
+ * worker thread drains its inbox in order and fulfils each future with
+ * translated global hit positions.
  *
  * The shape is deliberately that of an RPC endpoint — request in,
- * response out, no shared mutable state beyond the immutable shard
- * data — so a later PR can move workers out-of-process (the EXMA
- * paper's channels are physically separate DIMMs; FindeR's banks are
- * independent rank engines) by serialising Request/Response instead of
- * passing pointers.
+ * response out, no shared mutable state beyond the inbox — so a later
+ * PR can move workers out-of-process (the EXMA paper's channels are
+ * physically separate DIMMs; FindeR's banks are independent rank
+ * engines) by serialising Request/Response instead of passing
+ * pointers. To that end failures are *data, not exceptions*: every
+ * submitted future resolves with a typed Response whose status says
+ * Ok, Failed (process() threw; the message rides along), or WorkerDown
+ * (the worker died or was destroyed before serving it). A future
+ * obtained from submit() never throws and is never abandoned to
+ * std::future_error — exactly the contract a socket transport would
+ * give.
  *
- * Thread-safety analysis: the worker's only mutable shared state is
- * the inbox queue — the annotated deque inside ThreadPool (see
- * common/thread_annotations.hh) — and the lock-free processed_
- * counter. Everything else the worker touches (table_, scan_ref_,
- * segments_) is immutable after construction, so there is nothing
- * here for EXMA_GUARDED_BY to guard; keep it that way when extending
- * the worker, or route new mutable state through an exma::Mutex.
+ * Fault injection (src/fault/) probes the worker's stable name as its
+ * site on every dequeue, so a FaultInjector can kill this worker on
+ * its Nth request, hang it, delay it, make process() throw, or corrupt
+ * the response payload after the integrity canary is stamped. The
+ * heartbeat counter ticks on every dequeue and every processed batch
+ * chunk (BatchConfig::progress), letting a WorkerSupervisor tell a
+ * slow worker from a hung one.
+ *
+ * Thread-safety analysis: the inbox deque and stop flag are
+ * EXMA_GUARDED_BY the worker mutex; depth/heartbeat/processed/dead are
+ * lock-free atomics. Everything else the worker touches (table_,
+ * scan_ref_, segments_) is immutable after construction. Route new
+ * mutable state through the mutex or an atomic; the analysis gate is
+ * on the clang CI leg.
  */
 
 #ifndef EXMA_ROUTE_SHARD_WORKER_HH
 #define EXMA_ROUTE_SHARD_WORKER_HH
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/batch_searcher.hh"
-#include "common/thread_pool.hh"
+#include "common/thread_annotations.hh"
 #include "core/exma_table.hh"
+#include "fault/fault_injector.hh"
 
 namespace exma {
 
@@ -52,20 +69,38 @@ class ShardWorker
         BatchConfig cfg;
     };
 
+    enum class Status : u8 {
+        Ok,         ///< hits are valid (canary-checkable)
+        Failed,     ///< process() threw; error holds the message
+        WorkerDown, ///< worker died/destroyed before serving this
+    };
+
     /** Outcome, index-aligned with Request::ids. */
     struct Response
     {
+        Status status = Status::Ok;
+        std::string error; ///< diagnostic for Failed / WorkerDown
         std::vector<u32> ids;
         /** Global match positions per id, sorted ascending. Within one
          *  shard a global position occurs at most once (segment maps
          *  never overlap themselves), so no per-shard dedup is run. */
         std::vector<std::vector<u64>> hits;
+        /** Integrity stamp over ids+hits (responseCanary); the router
+         *  recomputes it and discards mismatching responses the way it
+         *  would a failed checksum on a wire transport. */
+        u64 canary = 0;
         SearchStats stats;
         double seconds = 0.0; ///< worker-side wall clock for the batch
+
+        bool ok() const { return status == Status::Ok; }
     };
 
+    /** The integrity stamp Response::canary carries (FNV-1a). */
+    static u64 responseCanary(const Response &r);
+
     /**
-     * @param name      shard name (diagnostics).
+     * @param name      stable worker name; also the fault-injection
+     *                  site ("<shard>/r<i>" in a ReplicaSet).
      * @param table     the shard's segment-mapped ExmaTable, or null
      *                  when the shard is too small to index.
      * @param scan_ref  extracted local reference for table-less shards
@@ -79,21 +114,67 @@ class ShardWorker
                 const std::vector<Base> *scan_ref,
                 const std::vector<TextSegment> *segments);
 
+    /**
+     * Stops the worker thread. Pending inbox entries resolve with
+     * WorkerDown (never a broken promise); an in-flight request is
+     * allowed to finish, with injected sleeps cancelled.
+     */
+    ~ShardWorker();
+
     ShardWorker(const ShardWorker &) = delete;
     ShardWorker &operator=(const ShardWorker &) = delete;
 
-    /** Enqueue a request on the inbox; resolves when the worker thread
-     *  has served it. Requests are served in submission order. */
+    /**
+     * Enqueue a request on the inbox; resolves when the worker thread
+     * has served it. Requests are served in submission order. Never
+     * blocks; submitting to a dead worker resolves immediately with
+     * WorkerDown.
+     */
     std::future<Response> submit(Request req);
+
+    /**
+     * Simulate worker death: mark dead, cancel any injected sleep, and
+     * resolve every queued request with WorkerDown. The supervisor
+     * uses this to put down hung workers; tests and the kill-loop soak
+     * use it as the crash switch.
+     */
+    void kill();
+
+    bool isDead() const { return dead_.load(std::memory_order_acquire); }
+
+    /** Queued + in-flight requests — the power-of-two-choices load
+     *  signal. */
+    u64 inboxDepth() const
+    {
+        return inbox_depth_.load(std::memory_order_relaxed);
+    }
+
+    /** Liveness counter: ticks on dequeue and per processed chunk. A
+     *  worker with inboxDepth() > 0 and a frozen heartbeat is hung. */
+    u64 heartbeat() const
+    {
+        return heartbeat_.load(std::memory_order_relaxed);
+    }
 
     const std::string &name() const { return name_; }
     bool hasTable() const { return table_ != nullptr; }
     bool isEmpty() const { return table_ == nullptr && scan_ref_ == nullptr; }
 
-    /** Requests served so far (monotonic). */
+    /** Requests served to completion (Ok or Failed; monotonic). */
     u64 processed() const { return processed_.load(std::memory_order_relaxed); }
 
   private:
+    struct Pending
+    {
+        Request req;
+        std::promise<Response> promise;
+    };
+
+    void run();
+    void serve(Pending p);
+    /** Resolve @p p with WorkerDown and release its inbox-depth slot. */
+    void resolveDown(Pending &p);
+    void markDead();
     Response process(const Request &req);
     void scanQuery(const std::vector<Base> &query,
                    std::vector<u64> &hits) const;
@@ -102,9 +183,18 @@ class ShardWorker
     const ExmaTable *table_;
     const std::vector<Base> *scan_ref_;
     const std::vector<TextSegment> *segments_;
+
     std::atomic<u64> processed_{0};
-    /** The dedicated thread; its task deque is the inbox queue. */
-    ThreadPool inbox_{1};
+    std::atomic<u64> heartbeat_{0};
+    std::atomic<u64> inbox_depth_{0};
+    std::atomic<bool> dead_{false};
+    CancelToken cancel_;
+
+    Mutex mtx_;
+    std::condition_variable cv_;
+    std::deque<Pending> inbox_ EXMA_GUARDED_BY(mtx_);
+    bool stop_ EXMA_GUARDED_BY(mtx_) = false;
+    std::thread thread_; ///< last member: joins before the rest dies
 };
 
 } // namespace exma

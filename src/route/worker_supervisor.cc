@@ -1,0 +1,44 @@
+#include "route/worker_supervisor.hh"
+
+#include <chrono>
+#include <utility>
+
+namespace exma {
+
+WorkerSupervisor::WorkerSupervisor(std::vector<ReplicaSet *> sets,
+                                   Config cfg)
+    : sets_(std::move(sets)), cfg_(cfg)
+{
+    thread_ = std::thread([this] { loop(); });
+}
+
+WorkerSupervisor::~WorkerSupervisor()
+{
+    {
+        MutexLock lock(mtx_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+WorkerSupervisor::loop()
+{
+    for (;;) {
+        {
+            MutexLock lock(mtx_);
+            // Bounded wait, not sleep: destruction must not stall a
+            // full interval behind a long sweep period.
+            cv_.wait_for(lock.native(),
+                         std::chrono::milliseconds(cfg_.interval_ms));
+            if (stop_)
+                return;
+        }
+        for (ReplicaSet *set : sets_)
+            set->superviseOnce(cfg_.hang_timeout_ms);
+    }
+}
+
+} // namespace exma

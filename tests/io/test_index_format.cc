@@ -237,9 +237,25 @@ TEST(FileFormatTest, BlobReaderOverrunThrows)
     w.putU32(7);
     BlobReader r(w.bytes(), "blob");
     EXPECT_EQ(r.getU32(), 7u);
-    EXPECT_THROW(r.getU64(), LoadError); // nothing left
+    try {
+        r.getU64(); // nothing left
+        FAIL() << "overrun not detected";
+    } catch (const LoadError &e) {
+        // The message carries the reader's label (load sites pass the
+        // companion-file path) and the byte offset of the bad field.
+        EXPECT_NE(std::string(e.what()).find("blob @+4"),
+                  std::string::npos)
+            << e.what();
+    }
     BlobReader unfinished(w.bytes(), "blob");
-    EXPECT_THROW(unfinished.finish(), LoadError); // unconsumed bytes
+    try {
+        unfinished.finish(); // unconsumed bytes
+        FAIL() << "trailing garbage not detected";
+    } catch (const LoadError &e) {
+        EXPECT_NE(std::string(e.what()).find("blob @+0"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 // --- single-table round trips -------------------------------------------
@@ -302,7 +318,15 @@ TEST(TableCorruptionTest, FlippedOccByteFailsClosed)
     saveTableFiles(built, stem);
     const std::string occ_path = stem + kExtOcc;
     flipByte(occ_path, fs::file_size(occ_path) / 2);
-    EXPECT_THROW(loadTableFiles(stem), LoadError);
+    try {
+        loadTableFiles(stem);
+        FAIL() << "corruption not detected";
+    } catch (const LoadError &e) {
+        // Every load-path LoadError names the failing file.
+        EXPECT_NE(std::string(e.what()).find(occ_path),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(TableCorruptionTest, MissingCompanionFileFailsClosed)

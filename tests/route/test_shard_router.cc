@@ -189,7 +189,7 @@ TEST(ShardRouter, EmptyPrefixRangesServeHitless)
 
     size_t empty_workers = 0;
     for (size_t s = 0; s < router.shardCount(); ++s)
-        empty_workers += router.worker(s).isEmpty();
+        empty_workers += router.replicaSet(s).isEmpty();
     EXPECT_GE(empty_workers, 2u);
 
     const std::vector<std::vector<Base>> qs = {
@@ -257,8 +257,8 @@ TEST(ShardRouter, TinyShardsFallBackToScanWorkers)
 
     size_t scan_workers = 0;
     for (size_t s = 0; s < router.shardCount(); ++s)
-        scan_workers += !router.worker(s).hasTable() &&
-                        !router.worker(s).isEmpty();
+        scan_workers += !router.replicaSet(s).hasTable() &&
+                        !router.replicaSet(s).isEmpty();
     EXPECT_GT(scan_workers, 0u)
         << "fixture no longer produces sub-threshold shards";
 
@@ -368,7 +368,7 @@ TEST(ShardRouter, WorkersDrainInboxAcrossRepeatedBatches)
     }
     u64 processed = 0;
     for (size_t s = 0; s < router.shardCount(); ++s)
-        processed += router.worker(s).processed();
+        processed += router.replicaSet(s).processedTotal();
     EXPECT_GT(processed, 0u);
 
     // Per-shard stats merge to the total.

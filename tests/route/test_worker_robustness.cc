@@ -1,0 +1,147 @@
+// ShardWorker's failure contract (the RPC seam under stress): futures
+// always resolve with typed Responses — WorkerDown on destruction with
+// a non-empty inbox (the std::future_error regression this file
+// pins), Failed with the message when process() throws — plus kill(),
+// inbox-depth accounting, and heartbeat liveness.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "route/shard_worker.hh"
+
+namespace exma {
+namespace {
+
+using Response = ShardWorker::Response;
+using Status = ShardWorker::Status;
+
+const std::vector<std::vector<Base>> &
+batch()
+{
+    static const std::vector<std::vector<Base>> queries = {
+        {0, 1, 2, 3}, {1, 1}, {2}};
+    return queries;
+}
+
+ShardWorker::Request
+requestFor(const std::vector<std::vector<Base>> &queries)
+{
+    ShardWorker::Request req;
+    req.queries = &queries;
+    for (u32 i = 0; i < queries.size(); ++i)
+        req.ids.push_back(i);
+    return req;
+}
+
+/** A future must resolve within the suite's patience, not hang CI. */
+Response
+resolved(std::future<Response> &fut)
+{
+    const auto status = fut.wait_for(std::chrono::seconds(60));
+    EXPECT_EQ(status, std::future_status::ready)
+        << "worker future never resolved";
+    return fut.get();
+}
+
+TEST(WorkerRobustness, DestructionWithPendingInboxYieldsWorkerDown)
+{
+    // The first request sleeps long via an injected delay, so the
+    // second and third are still queued when the worker dies. All
+    // three must come back as typed WorkerDown — never a broken
+    // promise surfacing as std::future_error, never a hang on the
+    // injected sleep.
+    ScopedFaultInjector scope(std::make_shared<FaultInjector>(
+        FaultInjector::parseSpec("delay@w:ms=60000")));
+    std::vector<std::future<Response>> futs;
+    {
+        ShardWorker worker("w", nullptr, nullptr, nullptr);
+        for (int i = 0; i < 3; ++i)
+            futs.push_back(worker.submit(requestFor(batch())));
+        // Destructor runs with one request mid-sleep and two queued.
+    }
+    for (auto &fut : futs) {
+        const Response r = resolved(fut);
+        EXPECT_EQ(r.status, Status::WorkerDown);
+        EXPECT_NE(r.error.find("down"), std::string::npos);
+        EXPECT_EQ(r.ids.size(), batch().size());
+        EXPECT_TRUE(r.hits.empty()) << "down responses carry no hits";
+    }
+}
+
+TEST(WorkerRobustness, ProcessThrowSurfacesAsFailedWithMessage)
+{
+    ScopedFaultInjector scope(std::make_shared<FaultInjector>(
+        FaultInjector::parseSpec("throw@w:nth=1")));
+    ShardWorker worker("w", nullptr, nullptr, nullptr);
+
+    auto failing = worker.submit(requestFor(batch()));
+    const Response failed = resolved(failing);
+    EXPECT_EQ(failed.status, Status::Failed);
+    EXPECT_NE(failed.error.find("injected fault"), std::string::npos);
+    EXPECT_NE(failed.error.find("'w'"), std::string::npos);
+
+    // The worker survives the throw: the next request is served.
+    auto fine = worker.submit(requestFor(batch()));
+    const Response ok = resolved(fine);
+    EXPECT_EQ(ok.status, Status::Ok);
+    EXPECT_EQ(ok.hits.size(), batch().size());
+    EXPECT_EQ(ShardWorker::responseCanary(ok), ok.canary);
+    EXPECT_EQ(worker.processed(), 2u)
+        << "Failed requests still count as consumed";
+}
+
+TEST(WorkerRobustness, KillFailsQueuedAndRefusesNewSubmissions)
+{
+    ScopedFaultInjector scope(std::make_shared<FaultInjector>(
+        FaultInjector::parseSpec("delay@w:ms=60000")));
+    ShardWorker worker("w", nullptr, nullptr, nullptr);
+    auto in_flight = worker.submit(requestFor(batch()));
+    auto queued = worker.submit(requestFor(batch()));
+
+    worker.kill();
+    EXPECT_TRUE(worker.isDead());
+    EXPECT_EQ(resolved(in_flight).status, Status::WorkerDown)
+        << "kill must cancel the injected sleep";
+    EXPECT_EQ(resolved(queued).status, Status::WorkerDown);
+
+    auto refused = worker.submit(requestFor(batch()));
+    EXPECT_EQ(resolved(refused).status, Status::WorkerDown)
+        << "submitting to a dead worker resolves immediately";
+    EXPECT_EQ(worker.inboxDepth(), 0u);
+    EXPECT_EQ(worker.processed(), 0u);
+}
+
+TEST(WorkerRobustness, ServedRequestsAdvanceHeartbeatAndDrainDepth)
+{
+    ShardWorker worker("w", nullptr, nullptr, nullptr);
+    EXPECT_EQ(worker.heartbeat(), 0u);
+    auto fut = worker.submit(requestFor(batch()));
+    const Response r = resolved(fut);
+    EXPECT_EQ(r.status, Status::Ok);
+    EXPECT_EQ(worker.inboxDepth(), 0u);
+    EXPECT_GE(worker.heartbeat(), 2u)
+        << "dequeue and completion both tick";
+    EXPECT_EQ(worker.processed(), 1u);
+}
+
+TEST(WorkerRobustness, CanaryDetectsCorruptedResponse)
+{
+    ScopedFaultInjector scope(std::make_shared<FaultInjector>(
+        FaultInjector::parseSpec("corrupt@w:nth=1")));
+    ShardWorker worker("w", nullptr, nullptr, nullptr);
+    auto fut = worker.submit(requestFor(batch()));
+    const Response r = resolved(fut);
+    EXPECT_EQ(r.status, Status::Ok)
+        << "corruption is silent at the transport layer";
+    EXPECT_NE(ShardWorker::responseCanary(r), r.canary)
+        << "recomputing the canary must expose the corruption";
+}
+
+} // namespace
+} // namespace exma

@@ -26,6 +26,14 @@ that code review alone won't keep enforced:
                      `ctest -L concurrency`, so a missing label means a
                      threaded suite is never sanitized.
 
+  no-naked-future-get  a future .get() in src/route/ or src/fault/
+                     (receiver named fut/futs/futures/...) must be
+                     preceded within a few lines by a wait_for: the
+                     serving tier's futures resolve from worker threads
+                     that can die or hang, so every get must sit behind
+                     an observed-ready / deadline-bounded wait, never
+                     block unconditionally.
+
   mutex-annotations  src/** must not declare std::mutex (or friends) or
                      use the raw std lock adapters outside
                      common/thread_annotations.hh. Shared state is an
@@ -285,6 +293,47 @@ def check_concurrency_label(root):
 
 
 # --------------------------------------------------------------------------
+# Rule: no-naked-future-get
+# --------------------------------------------------------------------------
+
+# A .get() whose receiver is future-named: `fut.get()`, `futures[s].get()`,
+# `at.fut.get()`. Receivers like `worker.get()` (a smart pointer) don't
+# match; the convention is that future variables are named fut*.
+NAKED_FUTURE_GET_RE = re.compile(
+    r"\bfut\w*\s*(?:\[[^\]\n]*\]\s*)?\.\s*get\s*\(")
+
+# A wait_for this close above the get is taken as the bounded wait whose
+# observed-ready result the get consumes.
+FUTURE_WAIT_WINDOW = 8
+
+FUTURE_GET_SCAN_DIRS = (
+    os.path.join("src", "route"),
+    os.path.join("src", "fault"),
+)
+
+
+def check_no_naked_future_get(root):
+    findings = []
+    for sub in FUTURE_GET_SCAN_DIRS:
+        for rel in cxx_files_under(root, sub):
+            stripped = strip_comments_and_strings(
+                read_text(os.path.join(root, rel)))
+            lines = stripped.split("\n")
+            for line, _m in iter_matches(NAKED_FUTURE_GET_RE, stripped):
+                window = lines[max(0, line - FUTURE_WAIT_WINDOW):line]
+                if any("wait_for" in w for w in window):
+                    continue
+                findings.append(Finding(
+                    rel, line, "no-naked-future-get",
+                    "future .get() without a wait_for in the preceding "
+                    "%d lines; serving-tier futures resolve from worker "
+                    "threads that can die or hang, so gate every get "
+                    "behind a deadline-bounded wait_for whose ready "
+                    "status was observed" % FUTURE_WAIT_WINDOW))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Rule: mutex-annotations
 # --------------------------------------------------------------------------
 
@@ -374,6 +423,7 @@ RULES = {
     "bench-json": check_bench_json,
     "concurrency-label": check_concurrency_label,
     "mutex-annotations": check_mutex_annotations,
+    "no-naked-future-get": check_no_naked_future_get,
     "ondisk-pod-assert": check_ondisk_pod_assert,
 }
 

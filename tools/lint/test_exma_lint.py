@@ -210,6 +210,64 @@ class HotCache
         self.assertEqual(self.rules("mutex-annotations"), [])
 
 
+class NoNakedFutureGetTest(LintTestCase):
+
+    def test_unguarded_get_in_route_is_flagged(self):
+        rel = self.tree.write("src/route/gather.cc", """\
+void gather(std::future<Response> &fut)
+{
+    Response r = fut.get();
+}
+""")
+        findings = self.rules("no-naked-future-get")
+        self.assertEqual([(f.rule, f.path, f.line) for f in findings],
+                         [("no-naked-future-get", rel, 3)])
+        self.assertIn("wait_for", findings[0].message)
+
+    def test_wait_for_within_window_passes(self):
+        self.tree.write("src/route/gather.cc", """\
+void gather(std::vector<std::future<Response>> &futures, size_t s)
+{
+    if (futures[s].wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready)
+        return;
+    Response r = futures[s].get();
+}
+""")
+        self.tree.write("src/fault/reap.cc", """\
+void reap(Attempt &at)
+{
+    while (at.fut.wait_for(std::chrono::milliseconds(10)) !=
+           std::future_status::ready)
+        at.worker->kill();
+    at.fut.get();
+}
+""")
+        self.assertEqual(self.rules("no-naked-future-get"), [])
+
+    def test_wait_for_outside_window_does_not_count(self):
+        pad = "    side_effect();\n" * exma_lint.FUTURE_WAIT_WINDOW
+        rel = self.tree.write("src/fault/stale.cc", """\
+void stale(std::future<int> &fut)
+{
+    fut.wait_for(std::chrono::seconds(1));
+%s    int v = fut.get();
+}
+""" % pad)
+        findings = self.rules("no-naked-future-get")
+        self.assertEqual(self.rule_ids(findings),
+                         [("no-naked-future-get", rel)])
+
+    def test_smart_pointer_get_and_other_dirs_are_out_of_scope(self):
+        # worker.get() is a shared_ptr, not a future; and future code
+        # outside src/route//src/fault is another tier's business.
+        self.tree.write("src/route/ptr.cc",
+                        "ShardWorker *w = at.worker.get();\n")
+        self.tree.write("src/batch/elsewhere.cc",
+                        "int v = fut.get();\n")
+        self.assertEqual(self.rules("no-naked-future-get"), [])
+
+
 class OndiskPodAssertTest(LintTestCase):
 
     def test_write_site_without_asserts_is_flagged(self):
