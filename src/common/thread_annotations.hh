@@ -27,6 +27,8 @@
 #ifndef EXMA_COMMON_THREAD_ANNOTATIONS_HH
 #define EXMA_COMMON_THREAD_ANNOTATIONS_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__)
@@ -126,6 +128,67 @@ class EXMA_SCOPED_CAPABILITY MutexLock
 
   private:
     std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable that waits on a MutexLock directly, so no call
+ * site ever touches the raw std::condition_variable / unique_lock
+ * seam (exma_lint's mutex-annotations rule bans the raw type outside
+ * this header, like it bans bare std::mutex). Waiting with the lock
+ * is the one blocking operation that is legitimate inside a critical
+ * section — the blocked-under-lock analyzer exempts exactly this
+ * shape (the waited lock spelled in the argument list) and still
+ * flags a wait that holds any *other* mutex.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    void wait(MutexLock &lock) { cv_.wait(lock.native()); }
+
+    template <typename Pred> void wait(MutexLock &lock, Pred pred)
+    {
+        cv_.wait(lock.native(), std::move(pred));
+    }
+
+    template <typename Rep, typename Period>
+    std::cv_status wait_for(MutexLock &lock,
+                            const std::chrono::duration<Rep, Period> &d)
+    {
+        return cv_.wait_for(lock.native(), d);
+    }
+
+    template <typename Rep, typename Period, typename Pred>
+    bool wait_for(MutexLock &lock,
+                  const std::chrono::duration<Rep, Period> &d, Pred pred)
+    {
+        return cv_.wait_for(lock.native(), d, std::move(pred));
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status
+    wait_until(MutexLock &lock,
+               const std::chrono::time_point<Clock, Duration> &tp)
+    {
+        return cv_.wait_until(lock.native(), tp);
+    }
+
+    template <typename Clock, typename Duration, typename Pred>
+    bool wait_until(MutexLock &lock,
+                    const std::chrono::time_point<Clock, Duration> &tp,
+                    Pred pred)
+    {
+        return cv_.wait_until(lock.native(), tp, std::move(pred));
+    }
+
+    void notify_one() { cv_.notify_one(); }
+    void notify_all() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
 };
 
 } // namespace exma

@@ -52,7 +52,7 @@ ThreadPool::wait()
     // -Wthread-safety analyses them against the held MutexLock.
     MutexLock lock(mtx_);
     while (unfinished_ != 0)
-        idle_.wait(lock.native());
+        idle_.wait(lock);
 }
 
 void
@@ -63,7 +63,7 @@ ThreadPool::workerLoop()
         {
             MutexLock lock(mtx_);
             while (!stop_ && tasks_.empty())
-                task_ready_.wait(lock.native());
+                task_ready_.wait(lock);
             if (tasks_.empty())
                 return; // stop_ and drained
             task = std::move(tasks_.front());
@@ -100,7 +100,7 @@ struct LoopState
 
     std::atomic<u64> next{0};
     Mutex mtx;
-    std::condition_variable done_cv;
+    CondVar done_cv;
     u64 completed_chunks EXMA_GUARDED_BY(mtx) = 0;
     std::exception_ptr first_error EXMA_GUARDED_BY(mtx);
 
@@ -135,7 +135,7 @@ struct LoopState
     {
         MutexLock lock(mtx);
         while (completed_chunks != total_chunks)
-            done_cv.wait(lock.native());
+            done_cv.wait(lock);
     }
 
     /** First chunk error, read under the lock once the loop is done. */

@@ -16,7 +16,6 @@
 #ifndef EXMA_COMMON_THREAD_POOL_HH
 #define EXMA_COMMON_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -78,8 +77,8 @@ class ThreadPool
 
     std::vector<std::thread> workers_;
     Mutex mtx_;
-    std::condition_variable task_ready_;
-    std::condition_variable idle_;
+    CondVar task_ready_;
+    CondVar idle_;
     std::deque<std::function<void()>> tasks_ EXMA_GUARDED_BY(mtx_);
     u64 unfinished_ EXMA_GUARDED_BY(mtx_) = 0; ///< queued + running tasks
     bool stop_ EXMA_GUARDED_BY(mtx_) = false;

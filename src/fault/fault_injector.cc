@@ -257,7 +257,7 @@ CancelToken::sleepFor(u64 ms)
                           std::chrono::milliseconds(ms);
     MutexLock lock(mtx_);
     while (!cancelled_) {
-        if (cv_.wait_until(lock.native(), deadline) ==
+        if (cv_.wait_until(lock, deadline) ==
             std::cv_status::timeout)
             return !cancelled_;
     }

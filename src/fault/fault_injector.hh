@@ -36,7 +36,6 @@
 #define EXMA_FAULT_FAULT_INJECTOR_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -174,7 +173,7 @@ class CancelToken
 
   private:
     mutable Mutex mtx_;
-    std::condition_variable cv_;
+    CondVar cv_;
     bool cancelled_ EXMA_GUARDED_BY(mtx_) = false;
 };
 

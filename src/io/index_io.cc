@@ -7,7 +7,9 @@
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
+#include "fmindex/packed_rank.hh"
 #include "io/format.hh"
+#include "learned/rmi.hh"
 
 namespace exma {
 

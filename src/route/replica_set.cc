@@ -49,6 +49,10 @@ ReplicaSet::draw(u64 n)
 std::shared_ptr<ShardWorker>
 ReplicaSet::pick()
 {
+    // Declared before the lock: dead incarnations retired by the
+    // revive below destruct (and join their threads) only after the
+    // lock releases at return.
+    std::vector<std::shared_ptr<ShardWorker>> retired;
     MutexLock lock(mtx_);
     std::vector<unsigned> live;
     live.reserve(replica_count_);
@@ -57,7 +61,7 @@ ReplicaSet::pick()
             live.push_back(i);
     }
     if (live.empty()) {
-        reviveDeadLocked();
+        reviveDeadLocked(retired);
         for (unsigned i = 0; i < replica_count_; ++i)
             live.push_back(i);
     }
@@ -110,7 +114,8 @@ ReplicaSet::killReplica(unsigned i)
 }
 
 u64
-ReplicaSet::reviveDeadLocked()
+ReplicaSet::reviveDeadLocked(
+    std::vector<std::shared_ptr<ShardWorker>> &retired)
 {
     u64 revived = 0;
     for (unsigned i = 0; i < replica_count_; ++i) {
@@ -118,9 +123,11 @@ ReplicaSet::reviveDeadLocked()
             continue;
         retired_processed_.fetch_add(replicas_[i]->processed(),
                                      std::memory_order_relaxed);
-        // Dropping the shared_ptr may destroy the dead worker here;
-        // its thread has already exited (or exits promptly), so the
-        // join inside ~ShardWorker is cheap.
+        // Move the dead incarnation out instead of dropping it here:
+        // the last shared_ptr runs ~ShardWorker, which joins the
+        // worker thread, and that join must happen after the caller
+        // releases mtx_.
+        retired.push_back(std::move(replicas_[i]));
         replicas_[i] = spawnLocked(i);
         health_[i] = {0, std::chrono::steady_clock::now()};
         respawns_.fetch_add(1, std::memory_order_relaxed);
@@ -132,8 +139,9 @@ ReplicaSet::reviveDeadLocked()
 u64
 ReplicaSet::reviveDead()
 {
+    std::vector<std::shared_ptr<ShardWorker>> retired;
     MutexLock lock(mtx_);
-    return reviveDeadLocked();
+    return reviveDeadLocked(retired);
 }
 
 u64
@@ -166,8 +174,9 @@ ReplicaSet::superviseOnce(u64 hang_timeout_ms)
                   static_cast<unsigned long long>(hang_timeout_ms));
         w->kill();
     }
+    std::vector<std::shared_ptr<ShardWorker>> retired;
     MutexLock lock(mtx_);
-    return reviveDeadLocked();
+    return reviveDeadLocked(retired);
 }
 
 u64

@@ -97,7 +97,16 @@ class ReplicaSet
   private:
     std::shared_ptr<ShardWorker> spawnLocked(unsigned i)
         EXMA_REQUIRES(mtx_);
-    u64 reviveDeadLocked() EXMA_REQUIRES(mtx_);
+    /**
+     * Respawn every dead replica, moving the dead incarnations into
+     * @p retired instead of destroying them: ~ShardWorker joins the
+     * worker thread, and a join must never run under mtx_ (the
+     * blocked-under-lock analyzer's rule). Callers declare `retired`
+     * *before* their MutexLock so the retirees destruct after the
+     * lock releases.
+     */
+    u64 reviveDeadLocked(std::vector<std::shared_ptr<ShardWorker>> &retired)
+        EXMA_REQUIRES(mtx_);
     /** Uniform index in [0, n) off the lock-free pick sequence. */
     u64 draw(u64 n);
 

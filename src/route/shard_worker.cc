@@ -147,7 +147,7 @@ ShardWorker::run()
             MutexLock lock(mtx_);
             while (!stop_ && !dead_.load(std::memory_order_relaxed) &&
                    inbox_.empty())
-                cv_.wait(lock.native());
+                cv_.wait(lock);
             if (stop_ || dead_.load(std::memory_order_relaxed))
                 return; // queued entries are drained by kill()/dtor
             p = std::move(inbox_.front());

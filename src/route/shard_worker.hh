@@ -40,7 +40,6 @@
 #define EXMA_ROUTE_SHARD_WORKER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <string>
@@ -191,7 +190,7 @@ class ShardWorker
     CancelToken cancel_;
 
     Mutex mtx_;
-    std::condition_variable cv_;
+    CondVar cv_;
     std::deque<Pending> inbox_ EXMA_GUARDED_BY(mtx_);
     bool stop_ EXMA_GUARDED_BY(mtx_) = false;
     std::thread thread_; ///< last member: joins before the rest dies

@@ -31,7 +31,7 @@ WorkerSupervisor::loop()
             MutexLock lock(mtx_);
             // Bounded wait, not sleep: destruction must not stall a
             // full interval behind a long sweep period.
-            cv_.wait_for(lock.native(),
+            cv_.wait_for(lock,
                          std::chrono::milliseconds(cfg_.interval_ms));
             if (stop_)
                 return;

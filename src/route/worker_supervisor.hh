@@ -17,7 +17,6 @@
 #ifndef EXMA_ROUTE_WORKER_SUPERVISOR_HH
 #define EXMA_ROUTE_WORKER_SUPERVISOR_HH
 
-#include <condition_variable>
 #include <thread>
 #include <vector>
 
@@ -50,7 +49,7 @@ class WorkerSupervisor
     const std::vector<ReplicaSet *> sets_;
     const Config cfg_;
     Mutex mtx_;
-    std::condition_variable cv_;
+    CondVar cv_;
     bool stop_ EXMA_GUARDED_BY(mtx_) = false;
     std::thread thread_;
 };

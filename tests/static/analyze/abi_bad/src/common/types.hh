@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Fixture mini-root for the ondisk-abi analyzer: fixed-width aliases,
+ * mirroring the real src/common/types.hh surface the probe needs.
+ */
+
+#ifndef EXMA_FIXTURE_ABI_TYPES_HH
+#define EXMA_FIXTURE_ABI_TYPES_HH
+
+#include <cstdint>
+
+namespace exma {
+
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+} // namespace exma
+
+#endif // EXMA_FIXTURE_ABI_TYPES_HH

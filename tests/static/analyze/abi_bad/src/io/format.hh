@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fixture mini-root for the ondisk-abi analyzer: a toy on-disk format
+ * whose LeafEntry fields were reordered after format_abi.lock was
+ * committed, without bumping kFormatVersion. sizeof is unchanged (16
+ * bytes either way) so the PR-7 static_asserts still pass — only the
+ * offset-exact lock catches it. Consumed by the
+ * analyze.fixture.ondisk-abi ctest gate (WILL_FAIL).
+ */
+
+#ifndef EXMA_FIXTURE_ABI_FORMAT_HH
+#define EXMA_FIXTURE_ABI_FORMAT_HH
+
+#include "common/types.hh"
+
+namespace exma {
+
+inline constexpr u32 kFormatVersion = 1;
+
+struct FileHeader
+{
+    char magic[8];
+    u32 version;
+    u32 n_sections;
+};
+
+struct SectionEntry
+{
+    u32 tag;
+    u32 elem_size;
+    u64 count;
+};
+
+/** The reordered POD: the committed lock froze {key@0, flags@8}, but
+ *  the fields now read flags-first — same sizeof, different offsets. */
+struct LeafEntry
+{
+    u32 flags;
+    u32 pad;
+    u64 key;
+};
+
+} // namespace exma
+
+#endif // EXMA_FIXTURE_ABI_FORMAT_HH

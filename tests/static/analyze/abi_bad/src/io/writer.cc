@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fixture serialization site: spells writeArray<LeafEntry> so the
+ * ondisk-abi pass puts LeafEntry under lock. The paired static_asserts
+ * (the PR-7 convention) are present and still TRUE after the field
+ * reorder in format.hh — which is exactly the gap the offset-exact
+ * lock file closes. Never compiled.
+ */
+
+#include <type_traits>
+
+#include "io/format.hh"
+
+namespace exma {
+
+static_assert(sizeof(LeafEntry) == 16);
+static_assert(std::is_trivially_copyable_v<LeafEntry>);
+
+template <typename T> void writeArray(u32 tag, const T *data, u64 n);
+
+void
+writeLeaves(const LeafEntry *leaves, u64 n)
+{
+    writeArray<LeafEntry>(7, leaves, n);
+}
+
+} // namespace exma

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Deliberately-bad fixture for the blocked-under-lock analyzer: a
+ * future .get() inside a critical section, so every other thread
+ * contending on mtx_ stalls until the future resolves — the serving
+ * tier's tail latency and the supervisor's hang detector both die on
+ * this. Never compiled; consumed by the
+ * analyze.fixture.blocked-under-lock ctest gate (WILL_FAIL), proving
+ * the pass fires.
+ */
+
+#include <future>
+
+#include "common/thread_annotations.hh"
+
+namespace exma::fixture {
+
+class ResultCache
+{
+  public:
+    int waitForFill(std::future<int> fut)
+    {
+        MutexLock lock(mtx_);
+        ++waiters_;
+        return fut.get(); // blocks the whole cache on one fill
+    }
+
+  private:
+    Mutex mtx_;
+    int waiters_ EXMA_GUARDED_BY(mtx_) = 0;
+};
+
+} // namespace exma::fixture

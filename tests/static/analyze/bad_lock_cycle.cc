@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deliberately-bad fixture for the lock-order analyzer: two mutexes
+ * acquired in opposite orders on two code paths — the classic AB/BA
+ * deadlock shape. Never compiled or linked; consumed by the
+ * analyze.fixture.lock-order ctest gate, which runs
+ *
+ *   exma_analyze.py --pass lock-order tests/static/analyze/bad_lock_cycle.cc
+ *
+ * with WILL_FAIL set, proving the pass fires (and names both witness
+ * paths) on exactly this pattern.
+ */
+
+#include "common/thread_annotations.hh"
+
+namespace exma::fixture {
+
+class Ledger
+{
+  public:
+    void creditThenDebit()
+    {
+        MutexLock a(credit_mtx_);
+        MutexLock b(debit_mtx_); // credit_mtx_ -> debit_mtx_
+        ++balance_;
+    }
+
+    void debitThenCredit()
+    {
+        MutexLock a(debit_mtx_);
+        MutexLock b(credit_mtx_); // debit_mtx_ -> credit_mtx_: cycle
+        --balance_;
+    }
+
+  private:
+    Mutex credit_mtx_;
+    Mutex debit_mtx_;
+    int balance_ EXMA_GUARDED_BY(credit_mtx_) = 0;
+};
+
+} // namespace exma::fixture

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Fixture module "alpha" for the layering analyzer. Declares DEPS on
+ * beta (see CMakeLists.txt) and includes it — a declared edge.
+ */
+
+#ifndef EXMA_FIXTURE_ALPHA_HH
+#define EXMA_FIXTURE_ALPHA_HH
+
+#include "beta/beta.hh"
+
+namespace exma::fixture {
+
+inline int alphaValue() { return betaValue() + 1; }
+
+} // namespace exma::fixture
+
+#endif // EXMA_FIXTURE_ALPHA_HH

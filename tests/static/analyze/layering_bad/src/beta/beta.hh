@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Fixture module "beta" for the layering analyzer. The include below
+ * is the violation: beta reaches into alpha without declaring
+ * DEPS exma::alpha — and since alpha declares DEPS on beta, the
+ * module graph is also cyclic. Never compiled; consumed by the
+ * analyze.fixture.layering ctest gate (WILL_FAIL).
+ */
+
+#ifndef EXMA_FIXTURE_BETA_HH
+#define EXMA_FIXTURE_BETA_HH
+
+#include "alpha/alpha.hh"
+
+namespace exma::fixture {
+
+inline int betaValue() { return 41; }
+
+} // namespace exma::fixture
+
+#endif // EXMA_FIXTURE_BETA_HH

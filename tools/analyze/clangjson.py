@@ -1,0 +1,365 @@
+"""Lower a clang `-ast-dump=json` translation unit to the analyzer IR.
+
+Used by the CI frontend (frontends.py runs clang, this module lowers
+the JSON). Two clang-JSON properties shape the code:
+
+* Locations are differentially encoded — a node's `loc`/`range` omits
+  `line` and `file` when unchanged from the previously printed
+  location, so decoding is stateful and must follow document order.
+  Macro expansions carry `spellingLoc`/`expansionLoc`; we follow the
+  expansion side (where the code the analyzer reasons about lives).
+
+* The dump covers every included header, so nodes are filtered to
+  files under the project root *after* location decoding (skipping a
+  subtree early would corrupt the differential state).
+
+The lowering mirrors cxxparse.py's canonicalization so both frontends
+agree on mutex names: a member mutex is "Class::member", a mutex
+reached through a local reference is "OwnerType::member" (clang gives
+us the owner type directly from the DeclRefExpr's qualType).
+"""
+
+import re
+
+from ir import CallSite, FunctionIR, Field, LockAcq, RecordIR, SourceIR
+
+FUNCTION_KINDS = {
+    "FunctionDecl", "CXXMethodDecl", "CXXConstructorDecl",
+    "CXXDestructorDecl", "CXXConversionDecl",
+}
+
+_TYPE_BASE_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:<[^;]*>)?\s*[&*]*\s*$")
+
+
+def type_base(qual_type):
+    """Last class-ish identifier of a qualType spelling:
+    "const exma::InjectorOwner &" -> "InjectorOwner"."""
+    t = qual_type.split("<")[0]
+    t = t.replace("const", " ").replace("volatile", " ")
+    t = t.replace("&", " ").replace("*", " ")
+    parts = [p for p in re.split(r"::|\s+", t) if p]
+    return parts[-1] if parts else ""
+
+
+class Lowering:
+    def __init__(self, tu_path, root):
+        self.tu_path = tu_path
+        self.root = root.rstrip("/") + "/"
+        self.cur_file = ""
+        self.cur_line = 1
+        self.functions = []
+        self.records = []
+        self.record_ids = {}     # node id -> class name (for out-of-line)
+        self.ns_stack = []
+        self.rec_stack = []
+
+    # -- differential location decoding ---------------------------------
+
+    def _decode_loc(self, loc):
+        if not isinstance(loc, dict):
+            return
+        if "expansionLoc" in loc or "spellingLoc" in loc:
+            # decode spelling first (document order), then expansion —
+            # expansion wins as the effective position
+            self._decode_loc(loc.get("spellingLoc"))
+            self._decode_loc(loc.get("expansionLoc"))
+            return
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+
+    def _enter(self, node):
+        """Decode this node's locations; return (file, line) in effect
+        for the node itself."""
+        self._decode_loc(node.get("loc"))
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            self._decode_loc(rng.get("begin"))
+        file, line = self.cur_file, self.cur_line
+        if isinstance(rng, dict):
+            self._decode_loc(rng.get("end"))
+        return file, line
+
+    def _project_rel(self, file):
+        if file.startswith(self.root):
+            return file[len(self.root):]
+        return ""
+
+    # -- declaration walk ------------------------------------------------
+
+    def run(self, tu_node):
+        for child in tu_node.get("inner", ()):
+            self._walk_decl(child)
+        return self.functions, self.records
+
+    def _walk_decl(self, node):
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+        file, line = self._enter(node)
+        rel = self._project_rel(file)
+        if kind == "NamespaceDecl":
+            self.ns_stack.append(node.get("name", ""))
+            for c in node.get("inner", ()):
+                self._walk_decl(c)
+            self.ns_stack.pop()
+            return
+        if kind == "CXXRecordDecl":
+            name = node.get("name", "")
+            if name and node.get("completeDefinition") and rel \
+                    and not node.get("isImplicit"):
+                chain = self.rec_stack + [name]
+                rec = RecordIR(
+                    "::".join(chain),
+                    "::".join([n for n in self.ns_stack if n] + chain),
+                    rel, line)
+                self.records.append(rec)
+                if "id" in node:
+                    self.record_ids[node["id"]] = "::".join(chain)
+                self.rec_stack.append(name)
+                for c in node.get("inner", ()):
+                    if c.get("kind") == "FieldDecl" \
+                            and not c.get("isImplicit"):
+                        f_file, f_line = self._enter(c)
+                        qt = c.get("type", {}).get("qualType", "")
+                        arr = ""
+                        m = re.search(r"(\[[^\]]*\])+\s*$", qt)
+                        if m:
+                            arr = m.group(0).replace(" ", "")
+                            qt = qt[:m.start()].strip()
+                        rec.fields.append(
+                            Field(c.get("name", ""), qt, arr))
+                    else:
+                        self._walk_decl(c)
+                self.rec_stack.pop()
+            else:
+                # forward declarations / out-of-project records: still
+                # walk children to keep location state exact
+                for c in node.get("inner", ()):
+                    self._walk_decl(c)
+            return
+        if kind in FUNCTION_KINDS and not node.get("isImplicit"):
+            self._lower_function(node, rel, line)
+            return
+        for c in node.get("inner", ()):
+            self._walk_decl(c)
+
+    def _lower_function(self, node, rel, line):
+        body = None
+        for c in node.get("inner", ()):
+            if c.get("kind") == "CompoundStmt":
+                body = c
+        name = node.get("name", "")
+        cls = "::".join(self.rec_stack)
+        if not cls and "parentDeclContextId" in node:
+            cls = self.record_ids.get(node["parentDeclContextId"], "")
+        if body is None or not name or not rel:
+            # still decode the subtree for location state
+            for c in node.get("inner", ()):
+                self._walk_stmt_locs(c)
+            return
+        qual = "::".join([n for n in self.ns_stack if n]
+                         + ([cls] if cls else []) + [name])
+        fn = FunctionIR(name, qual, cls, rel, line)
+        self.functions.append(fn)
+        ctx = _BodyCtx(self, fn)
+        for c in node.get("inner", ()):
+            if c is body:
+                ctx.walk_compound(body)
+            else:
+                self._walk_stmt_locs(c)
+
+    def _walk_stmt_locs(self, node):
+        if not isinstance(node, dict):
+            return
+        self._enter(node)
+        for c in node.get("inner", ()):
+            self._walk_stmt_locs(c)
+
+
+class _BodyCtx:
+    """Statement walk of one function body: tracks the RAII lock stack
+    across nested CompoundStmts and emits LockAcq / CallSite."""
+
+    def __init__(self, low, fn):
+        self.low = low
+        self.fn = fn
+        self.locks = []  # [(canonical, var_name, depth)]
+        self.depth = 0
+
+    def walk_compound(self, node):
+        self.depth += 1
+        mark = len(self.locks)
+        self.low._enter(node)
+        for c in node.get("inner", ()):
+            self.walk(c)
+        del self.locks[mark:]
+        self.depth -= 1
+
+    def walk(self, node):
+        if not isinstance(node, dict):
+            return
+        kind = node.get("kind", "")
+        file, line = self.low._enter(node)
+        if kind == "CompoundStmt":
+            self.walk_compound(node)
+            return
+        if kind == "DeclStmt":
+            for c in node.get("inner", ()):
+                if c.get("kind") == "VarDecl":
+                    self._var_decl(c)
+                else:
+                    self.walk(c)
+            return
+        if kind in ("CXXMemberCallExpr", "CallExpr"):
+            self._call(node, line)
+            # fall through: walk arguments for nested calls
+        for c in node.get("inner", ()):
+            self.walk(c)
+
+    def _held(self):
+        return ([l[0] for l in self.locks], [l[1] for l in self.locks])
+
+    def _var_decl(self, node):
+        self.low._enter(node)
+        qt = node.get("type", {}).get("qualType", "")
+        name = node.get("name", "")
+        if "MutexLock" in qt:
+            canon = self._mutex_from_init(node)
+            held, _ = self._held()
+            self.fn.acquires.append(
+                LockAcq(canon, self.low.cur_line, under=held))
+            self.locks.append((canon, name, self.depth))
+        for c in node.get("inner", ()):
+            self.walk(c)
+
+    def _mutex_from_init(self, node):
+        """First member/decl reference in the initializer subtree,
+        canonicalized."""
+        found = self._find_ref(node)
+        cls = self.fn.cls
+        if found is None:
+            return "%s::<unknown>" % (cls or self.fn.path)
+        member, owner = found
+        if owner:
+            return "%s::%s" % (owner, member)
+        return "%s::%s" % (cls if cls else self.fn.path, member)
+
+    def _find_ref(self, node):
+        """(member_name, owner_type_or_empty) for the first MemberExpr
+        or mutex-typed DeclRefExpr in the subtree (document order)."""
+        if not isinstance(node, dict):
+            return None
+        if node.get("kind") == "MemberExpr":
+            member = node.get("name", "").lstrip("->").lstrip(".")
+            owner = ""
+            for c in node.get("inner", ()):
+                base = self._base_ref(c)
+                if base is not None:
+                    owner = base
+                    break
+            return (member, owner)
+        if node.get("kind") == "DeclRefExpr":
+            rd = node.get("referencedDecl", {})
+            qt = rd.get("type", {}).get("qualType", "")
+            if "Mutex" in qt:
+                return (rd.get("name", ""), "")
+            return None
+        for c in node.get("inner", ()):
+            r = self._find_ref(c)
+            if r is not None:
+                return r
+        return None
+
+    def _base_ref(self, node):
+        """Owner type for a MemberExpr base: "" for `this` (enclosing
+        class applies), the DeclRefExpr's type base otherwise."""
+        if not isinstance(node, dict):
+            return None
+        kind = node.get("kind")
+        if kind == "CXXThisExpr":
+            return ""
+        if kind == "DeclRefExpr":
+            rd = node.get("referencedDecl", {})
+            base = type_base(rd.get("type", {}).get("qualType", ""))
+            return base or None
+        for c in node.get("inner", ()):
+            r = self._base_ref(c)
+            if r is not None:
+                return r
+        return None
+
+    def _call(self, node, line):
+        callee = ""
+        qual = ""
+        receiver = ""
+        inner = node.get("inner", ())
+        if not inner:
+            return
+        head = inner[0]
+        if node["kind"] == "CXXMemberCallExpr":
+            me = self._first_of(head, "MemberExpr")
+            if me is None:
+                return
+            callee = me.get("name", "").lstrip("->").lstrip(".")
+            base = self._first_of(me, "DeclRefExpr", "MemberExpr",
+                                  skip=me)
+            if base is not None:
+                receiver = base.get("name", "") or \
+                    base.get("referencedDecl", {}).get("name", "")
+                receiver = receiver.lstrip("->").lstrip(".")
+        else:
+            dre = self._first_of(head, "DeclRefExpr")
+            if dre is not None:
+                rd = dre.get("referencedDecl", {})
+                callee = rd.get("name", "")
+        if not callee:
+            return
+        args = " ".join(self._ref_names(c) for c in inner[1:])[:200]
+        held, lock_vars = self._held()
+        self.fn.calls.append(CallSite(
+            callee=callee, line=line, receiver=receiver,
+            callee_qual=qual, args=args.strip(), locks=held,
+            lock_vars=lock_vars))
+
+    @staticmethod
+    def _first_of(node, *kinds, skip=None):
+        stack = [node]
+        while stack:
+            n = stack.pop(0)
+            if not isinstance(n, dict):
+                continue
+            if n is not skip and n.get("kind") in kinds:
+                return n
+            stack.extend(n.get("inner", ()))
+        return None
+
+    def _ref_names(self, node):
+        """All identifiers referenced in an argument subtree (for the
+        cv-wait lock-variable exemption)."""
+        out = []
+        stack = [node]
+        while stack:
+            n = stack.pop(0)
+            if not isinstance(n, dict):
+                continue
+            if n.get("kind") == "DeclRefExpr":
+                nm = n.get("referencedDecl", {}).get("name", "")
+                if nm:
+                    out.append(nm)
+            elif n.get("kind") == "MemberExpr":
+                nm = n.get("name", "").lstrip("->").lstrip(".")
+                if nm:
+                    out.append(nm)
+            stack.extend(n.get("inner", ()))
+        return " ".join(out)
+
+
+def lower_tu(tu_path, ast_json, root, suppressions=None, version=""):
+    """SourceIR bundle for one TU dump. Functions/records keep their
+    own (header) paths; `tu_path` names the bundle."""
+    low = Lowering(tu_path, root)
+    functions, records = low.run(ast_json)
+    return SourceIR(tu_path, functions, records, suppressions or {},
+                    frontend="clang %s" % version if version else "clang")

@@ -1,0 +1,78 @@
+"""compile_commands.json loading and flag extraction.
+
+The analyzer needs two things from the compilation database: the list
+of project translation units, and per-TU flags (include dirs, -std,
+defines) so the clang frontend and the ondisk-abi compile probe see
+exactly what the build sees. When no database exists (e.g. analyzing a
+fixture mini-root that is never built), callers fall back to
+`default_flags(root)`.
+"""
+
+import json
+import os
+import shlex
+
+
+class CompileEntry:
+    __slots__ = ("file", "directory", "args")
+
+    def __init__(self, file, directory, args):
+        self.file = file
+        self.directory = directory
+        self.args = args  # full argv including the compiler
+
+    def frontend_flags(self):
+        """Flags safe to replay against a different compiler for a
+        syntax-only run: includes, defines, standard."""
+        out = []
+        args = self.args
+        i = 1
+        while i < len(args):
+            a = args[i]
+            if a in ("-I", "-isystem", "-D", "-U", "-include"):
+                if i + 1 < len(args):
+                    out.extend([a, args[i + 1]])
+                i += 2
+                continue
+            if a.startswith(("-I", "-D", "-U", "-std=")) or \
+                    a.startswith("-isystem"):
+                out.append(a)
+            i += 1
+        return out
+
+
+def load(build_dir):
+    """Project TUs from <build_dir>/compile_commands.json, sorted by
+    path; raises FileNotFoundError when absent."""
+    path = os.path.join(build_dir, "compile_commands.json")
+    with open(path, encoding="utf-8") as f:
+        raw = json.load(f)
+    entries = []
+    for e in raw:
+        if "arguments" in e:
+            args = list(e["arguments"])
+        else:
+            args = shlex.split(e["command"])
+        file = e["file"]
+        if not os.path.isabs(file):
+            file = os.path.normpath(os.path.join(e["directory"], file))
+        entries.append(CompileEntry(file, e["directory"], args))
+    entries.sort(key=lambda e: e.file)
+    return entries
+
+
+def default_flags(root):
+    """Fallback flags when no compilation database exists: the
+    project's public include root and language standard."""
+    return ["-I" + os.path.join(root, "src"), "-std=c++20"]
+
+
+def flags_for(entries_by_file, path, root):
+    e = entries_by_file.get(os.path.abspath(path))
+    if e is not None:
+        return e.frontend_flags()
+    return default_flags(root)
+
+
+def index_by_file(entries):
+    return {os.path.abspath(e.file): e for e in entries}

@@ -1,0 +1,712 @@
+"""Syntactic C++ frontend: lowers a source file to the analyzer IR.
+
+This is the fallback frontend for machines without clang (the clang
+`-ast-dump=json` adapter in frontends.py is preferred when available)
+and the reference implementation the unit tests pin. It is not a C++
+parser; it is a scope-tracking token walker tuned to this codebase's
+conventions (clang-format'd, no raw string literals with embedded
+quotes, RAII locking via exma::MutexLock). The IR it produces is
+deliberately coarse — see ir.py for what the passes actually consume.
+
+Known, documented blind spots (shared with any syntactic approach):
+destructors run via smart-pointer reassignment, calls made from
+initializer lists, and overload resolution (a call is matched to
+project functions by name, conservatively).
+"""
+
+import re
+
+from ir import CallSite, Field, FunctionIR, LockAcq, RecordIR, SourceIR
+
+# ---------------------------------------------------------------------------
+# Comment / string stripping and suppression scanning
+# ---------------------------------------------------------------------------
+
+SUPPRESS_RE = re.compile(
+    r"(?://|/\*)\s*analyze:\s*allow\(\s*([\w-]+)\s*(?:,\s*([^)]*?)\s*)?\)")
+
+
+def scan_suppressions(text):
+    """Map line -> [(pass_name, reason)] from `// analyze: allow(pass,
+    reason)` comments, scanned before stripping."""
+    out = {}
+    for i, line in enumerate(text.split("\n"), 1):
+        for m in SUPPRESS_RE.finditer(line):
+            out.setdefault(i, []).append(
+                (m.group(1), (m.group(2) or "").strip()))
+    return out
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving
+    newlines so line numbers survive."""
+    out = []
+    i = 0
+    n = len(text)
+    mode = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode, i = "line_comment", i + 2
+                out.append("  ")
+            elif c == "/" and nxt == "*":
+                mode, i = "block_comment", i + 2
+                out.append("  ")
+            elif c == '"':
+                mode, i = "string", i + 1
+                out.append(" ")
+            elif c == "'":
+                mode, i = "char", i + 1
+                out.append(" ")
+            else:
+                out.append(c)
+                i += 1
+        elif mode == "line_comment":
+            out.append(c if c == "\n" else " ")
+            if c == "\n":
+                mode = "code"
+            i += 1
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode, i = "code", i + 2
+                out.append("  ")
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # string / char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif (mode == "string" and c == '"') or \
+                    (mode == "char" and c == "'"):
+                mode, i = "code", i + 1
+                out.append(" ")
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"          # identifiers / keywords
+    r"|\d[\w.]*"             # numbers (incl. 0x..., 1'000 loses the ')
+    r"|::|->|\+\+|--|<<|>>|<=|>=|==|!=|&&|\|\||[-+*/%&|^!~<>=?:;,.(){}\[\]#\\]",
+)
+
+
+class Tok:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return "Tok(%r,%d)" % (self.text, self.line)
+
+
+def tokenize(stripped):
+    toks = []
+    line = 1
+    pos = 0
+    for m in TOKEN_RE.finditer(stripped):
+        line += stripped.count("\n", pos, m.start())
+        pos = m.start()
+        toks.append(Tok(m.group(0), line))
+    return toks
+
+
+def is_ident(t):
+    return bool(t) and (t[0].isalpha() or t[0] == "_")
+
+
+# Preprocessor lines are dropped before parsing (includes are handled
+# by the layering pass directly on the raw text).
+def drop_preprocessor(toks):
+    out = []
+    i = 0
+    n = len(toks)
+    while i < n:
+        if toks[i].text == "#":
+            line = toks[i].line
+            while i < n and toks[i].line == line and toks[i].text != "\\":
+                i += 1
+            # line continuations: a trailing backslash extends the
+            # directive to the next line
+            while i < n and toks[i].text == "\\":
+                line += 1
+                while i < n and toks[i].line <= line:
+                    i += 1
+        else:
+            out.append(toks[i])
+            i += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scope-tracking parser
+# ---------------------------------------------------------------------------
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "alignas", "static_assert", "decltype", "noexcept",
+    "throw", "new", "delete", "case", "assert", "offsetof",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "co_await", "co_return", "typeid", "operator", "requires",
+}
+
+FN_TRAILING = {"const", "noexcept", "override", "final", "try",
+               "mutable", "&", "&&", "=", "0", "default", "delete"}
+
+MACRO_NAME_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+class _Scope:
+    __slots__ = ("kind", "name", "func", "locks", "stash")
+
+    def __init__(self, kind, name="", func=None):
+        self.kind = kind    # namespace | record | function | block | other
+        self.name = name
+        self.func = func    # FunctionIR for function scopes
+        self.locks = []     # [(canonical, var_name)] acquired here
+        self.stash = []     # record scope: tokens of a pending member
+
+
+def _top_level_groups(texts):
+    """Indices (open, close) of top-level (...) groups; -1 close when
+    unbalanced."""
+    groups = []
+    depth = 0
+    start = -1
+    for i, t in enumerate(texts):
+        if t == "(":
+            if depth == 0:
+                start = i
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                groups.append((start, i))
+            elif depth < 0:
+                depth = 0
+    return groups
+
+
+def _parse_function_signature(seg):
+    """Return (name, qual_parts) if the segment preceding a `{` looks
+    like a function definition header, else None."""
+    texts = [t.text for t in seg]
+    if not texts or texts[-1] in ("=", ","):
+        return None
+    groups = _top_level_groups(texts)
+    if not groups:
+        return None
+    # Constructor initializer list: a top-level ':' after the first
+    # top-level ')' cuts the signature.
+    first_close = groups[0][1]
+    cut = len(texts)
+    depth = 0
+    for i in range(first_close + 1, len(texts)):
+        t = texts[i]
+        if t in ("(", "[", "<"):
+            depth += 1
+        elif t in (")", "]", ">"):
+            depth -= 1
+        elif t == ":" and depth <= 0:
+            cut = i
+            break
+    texts = texts[:cut]
+    groups = [g for g in groups if g[1] < cut]
+    if not groups:
+        return None
+    # Trailing-return functions: everything after '->' is the type.
+    arrow = None
+    for i, t in enumerate(texts):
+        if t == "->" and any(g[1] < i for g in groups):
+            arrow = i
+            break
+    if arrow is not None:
+        texts = texts[:arrow]
+        groups = [g for g in groups if g[1] < arrow]
+        if not groups:
+            return None
+    # The parameter list is the last top-level group whose trailing
+    # tokens are all function-suffix tokens; macro annotation groups
+    # (EXMA_ACQUIRE(...) etc.) are stepped over.
+    gi = len(groups) - 1
+    while gi >= 0:
+        op, cl = groups[gi]
+        trailing = [t for t in texts[cl + 1:]
+                    if not MACRO_NAME_RE.match(t)]
+        # strip tokens belonging to later (macro) groups
+        trailing = []
+        j = cl + 1
+        while j < len(texts):
+            t = texts[j]
+            if t == "(":
+                d = 1
+                j += 1
+                while j < len(texts) and d:
+                    if texts[j] == "(":
+                        d += 1
+                    elif texts[j] == ")":
+                        d -= 1
+                    j += 1
+                continue
+            trailing.append(t)
+            j += 1
+        bad = [t for t in trailing
+               if t not in FN_TRAILING and not MACRO_NAME_RE.match(t)]
+        if bad:
+            return None
+        name_i = op - 1
+        if name_i < 0:
+            return None
+        name = texts[name_i]
+        if MACRO_NAME_RE.match(name) and gi > 0:
+            gi -= 1
+            continue
+        break
+    else:
+        return None
+    if name == "operator" or not is_ident(name):
+        # operator overloads and conversion operators: name them
+        # "operator" collectively; passes never resolve them.
+        if name in ("operator", ")", ">", "]"):
+            return ("operator", [])
+        return None
+    if name in CONTROL_KEYWORDS:
+        return None
+    # Preceding qualification: Class :: name (possibly chained), with
+    # destructors spelled Class :: ~ Class.
+    qual = []
+    i = name_i - 1
+    if i >= 0 and texts[i] == "~":
+        name = "~" + name
+        i -= 1
+    while i - 1 >= 0 and texts[i] == "::" and is_ident(texts[i - 1]):
+        qual.insert(0, texts[i - 1])
+        i -= 2
+        # skip template argument lists in qualifiers (Foo<T>::bar)
+    return (name, qual)
+
+
+def _record_name_from_segment(texts):
+    cut = len(texts)
+    depth = 0
+    for i, t in enumerate(texts):
+        if t in ("(", "[", "<", "{"):
+            depth += 1
+        elif t in (")", "]", ">", "}"):
+            depth -= 1
+        elif t == ":" and depth <= 0 and \
+                (i + 1 >= len(texts) or texts[i + 1] != ":") and \
+                (i == 0 or texts[i - 1] != ":"):
+            cut = i
+            break
+    texts = texts[:cut]
+    if texts and texts[-1] == "final":
+        texts = texts[:-1]
+    for t in reversed(texts):
+        if is_ident(t) and t not in ("class", "struct", "union", "final"):
+            return t
+    return ""
+
+
+class Parser:
+    """One file -> SourceIR. See module docstring for scope."""
+
+    def __init__(self, path, text):
+        self.path = path
+        self.suppressions = scan_suppressions(text)
+        stripped = strip_comments_and_strings(text)
+        self.toks = drop_preprocessor(tokenize(stripped))
+        self.functions = []
+        self.records = []
+        self.stack = []
+
+    # -- scope helpers ---------------------------------------------------
+
+    def _namespaces(self):
+        return [s.name for s in self.stack
+                if s.kind == "namespace" and s.name]
+
+    def _record_chain(self):
+        return [s.name for s in self.stack if s.kind == "record"]
+
+    def _current_function(self):
+        for s in reversed(self.stack):
+            if s.kind == "function":
+                return s.func
+        return None
+
+    def _held(self):
+        """Canonical mutex names and MutexLock variable names held,
+        outermost first, across the enclosing function's scopes."""
+        names, lock_vars = [], []
+        active = False
+        for s in self.stack:
+            if s.kind == "function":
+                active = True
+                names, lock_vars = [], []
+            if active:
+                for canon, var in s.locks:
+                    names.append(canon)
+                    lock_vars.append(var)
+        return names, lock_vars
+
+    def _canonical_mutex(self, expr, local_types):
+        e = expr.replace("this", "").replace("->", ".").strip()
+        e = e.lstrip(".")
+        parts = [p for p in re.split(r"[.]", e) if p]
+        if not parts:
+            return "<unknown>"
+        base_m = re.match(r"[A-Za-z_]\w*", parts[0])
+        base = base_m.group(0) if base_m else parts[0]
+        last_m = re.match(r"[A-Za-z_]\w*", parts[-1])
+        last = last_m.group(0) if last_m else parts[-1]
+        cls = "::".join(self._record_chain())
+        if not cls:
+            fn = self._current_function()
+            if fn is not None and fn.cls:
+                cls = fn.cls
+        if len(parts) == 1:
+            owner = cls if cls else self.path
+            return "%s::%s" % (owner, last)
+        owner = local_types.get(base, "")
+        if owner:
+            return "%s::%s" % (owner, last)
+        return "%s::%s.%s" % (cls if cls else self.path, base, last)
+
+    # -- statement processing -------------------------------------------
+
+    def _process_statement(self, seg):
+        fn = self._current_function()
+        if fn is None or not seg:
+            return
+        texts = [t.text for t in seg]
+        local_types = getattr(fn, "_local_types", None)
+        if local_types is None:
+            local_types = fn._local_types = {}
+
+        # Local declarations with a spelled type: `Type [&*] name = ...`
+        # or `Type name(...)` / `Type name;` — captured so member
+        # expressions like `slot.mtx` can resolve the owner type.
+        m = self._match_local_decl(texts)
+        if m:
+            local_types[m[1]] = m[0]
+
+        i = 0
+        n = len(texts)
+        while i < n:
+            t = texts[i]
+            # RAII acquisition: [exma::] MutexLock var(expr)
+            if t == "MutexLock" and i + 2 < n and is_ident(texts[i + 1]) \
+                    and texts[i + 2] == "(":
+                var = texts[i + 1]
+                close = self._match_group(texts, i + 2)
+                expr = "".join(texts[i + 3:close])
+                canon = self._canonical_mutex(expr, local_types)
+                held, _vars = self._held()
+                fn.acquires.append(
+                    LockAcq(canon, seg[i].line, under=held))
+                # register on the innermost function/block scope
+                self.stack[-1].locks.append((canon, var))
+                i = close + 1
+                continue
+            if is_ident(t) and i + 1 < n and texts[i + 1] == "(" \
+                    and t not in CONTROL_KEYWORDS and t != "MutexLock":
+                prev = texts[i - 1] if i > 0 else ""
+                if is_ident(prev) and prev not in CONTROL_KEYWORDS:
+                    # `Type name(...)`: declaration, not a call
+                    i += 1
+                    continue
+                if prev in (">", "&", "*") and i >= 2 \
+                        and is_ident(texts[i - 2]):
+                    i += 1
+                    continue
+                receiver = ""
+                qual = ""
+                if prev in (".", "->"):
+                    receiver = self._receiver_base(texts, i - 2)
+                elif prev == "::":
+                    qual = self._qual_chain(texts, i)
+                close = self._match_group(texts, i + 1)
+                args = " ".join(texts[i + 2:close])[:200]
+                held, lock_vars = self._held()
+                fn.calls.append(CallSite(
+                    callee=t, line=seg[i].line, receiver=receiver,
+                    callee_qual=qual, args=args, locks=held,
+                    lock_vars=lock_vars))
+                # manual lock()/unlock() on a mutex-shaped receiver
+                if t == "lock" and prev in (".", "->") and receiver:
+                    canon = self._canonical_mutex(receiver, local_types)
+                    fn.acquires.append(
+                        LockAcq(canon, seg[i].line, under=held))
+                    self.stack[-1].locks.append((canon, "<manual>"))
+                elif t == "unlock" and prev in (".", "->") and receiver:
+                    canon = self._canonical_mutex(receiver, local_types)
+                    for s in reversed(self.stack):
+                        s.locks = [lk for lk in s.locks
+                                   if lk[0] != canon]
+                        if s.kind == "function":
+                            break
+                i += 1
+                continue
+            i += 1
+
+    @staticmethod
+    def _match_group(texts, open_i):
+        depth = 0
+        for j in range(open_i, len(texts)):
+            if texts[j] == "(":
+                depth += 1
+            elif texts[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    return j
+        return len(texts) - 1
+
+    @staticmethod
+    def _receiver_base(texts, j):
+        """Identifier naming the immediate receiver ending at index j:
+        `at . fut . get (` -> "fut"; `futures [ s ] . get (` ->
+        "futures"."""
+        while j >= 0 and texts[j] == "]":
+            depth = 0
+            while j >= 0:
+                if texts[j] == "]":
+                    depth += 1
+                elif texts[j] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+        if j >= 0 and texts[j] == ")":
+            depth = 0
+            while j >= 0:
+                if texts[j] == ")":
+                    depth += 1
+                elif texts[j] == "(":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            j -= 1
+            if j >= 0 and is_ident(texts[j]):
+                return texts[j]
+            return ""
+        if j >= 0 and is_ident(texts[j]):
+            return texts[j]
+        return ""
+
+    @staticmethod
+    def _qual_chain(texts, callee_i):
+        parts = [texts[callee_i]]
+        i = callee_i - 1
+        while i - 1 >= 0 and texts[i] == "::" and is_ident(texts[i - 1]):
+            parts.insert(0, texts[i - 1])
+            i -= 2
+        return "::".join(parts)
+
+    @staticmethod
+    def _match_local_decl(texts):
+        """(type, name) for `Type [&*]* name [=(;{]` declarations with
+        a simple spelled type; None otherwise."""
+        m = None
+        i = 0
+        n = len(texts)
+        # only consider a declaration at statement start (possibly
+        # after const/auto qualifiers)
+        while i < n and texts[i] in ("const", "static", "constexpr"):
+            i += 1
+        if i >= n or not is_ident(texts[i]) \
+                or texts[i] in CONTROL_KEYWORDS:
+            return None
+        type_parts = [texts[i]]
+        i += 1
+        while i + 1 < n and texts[i] == "::" and is_ident(texts[i + 1]):
+            type_parts.append(texts[i + 1])
+            i += 2
+        # skip one template argument list
+        if i < n and texts[i] == "<":
+            depth = 0
+            while i < n:
+                if texts[i] == "<":
+                    depth += 1
+                elif texts[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        i += 1
+                        break
+                i += 1
+        while i < n and texts[i] in ("&", "*", "const"):
+            i += 1
+        if i < n and is_ident(texts[i]) and i + 1 < n \
+                and texts[i + 1] in ("=", ";") and texts[i] \
+                not in CONTROL_KEYWORDS and type_parts[-1] != "auto":
+            m = (type_parts[-1], texts[i])
+        return m
+
+    # -- record members --------------------------------------------------
+
+    FIELD_SKIP_LEAD = {
+        "using", "friend", "typedef", "template", "static", "public",
+        "private", "protected", "struct", "class", "enum", "union",
+        "operator", "explicit", "virtual", "~",
+    }
+
+    def _parse_member(self, record, seg):
+        texts = [t.text for t in seg]
+        # strip annotation macros and alignas groups wholesale
+        cleaned = []
+        i = 0
+        while i < len(texts):
+            t = texts[i]
+            if (MACRO_NAME_RE.match(t) or t == "alignas") and \
+                    i + 1 < len(texts) and texts[i + 1] == "(":
+                i = self._match_group(texts, i + 1) + 1
+                continue
+            cleaned.append(t)
+            i += 1
+        texts = cleaned
+        # drop access-specifier prefixes ("public :")
+        while len(texts) >= 2 and texts[0] in ("public", "private",
+                                               "protected") \
+                and texts[1] == ":":
+            texts = texts[2:]
+        if not texts or texts[0] in self.FIELD_SKIP_LEAD:
+            return
+        # truncate at initializer
+        depth = 0
+        for i, t in enumerate(texts):
+            if t in ("(", "[", "<", "{"):
+                depth += 1
+            elif t in (")", "]", ">", "}"):
+                depth -= 1
+            elif t == "=" and depth == 0:
+                texts = texts[:i]
+                break
+        if not texts or "(" in texts:
+            return  # member function (or too clever to be a field)
+        if texts[0] == "mutable":
+            texts = texts[1:]
+        # array extents: trailing [N] groups
+        array = ""
+        while len(texts) >= 3 and texts[-1] == "]":
+            j = len(texts) - 1
+            depth = 0
+            while j >= 0:
+                if texts[j] == "]":
+                    depth += 1
+                elif texts[j] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            array = "[" + "".join(texts[j + 1:-1]) + "]" + array
+            texts = texts[:j]
+        if len(texts) < 2 or not is_ident(texts[-1]):
+            return
+        name = texts[-1]
+        type_spelling = re.sub(r"\s*(::|[<>,])\s*", r"\1",
+                               " ".join(texts[:-1]))
+        if not any(is_ident(t) for t in texts[:-1]):
+            return
+        record.fields.append(Field(name, type_spelling, array))
+
+    # -- main walk -------------------------------------------------------
+
+    def parse(self):
+        toks = self.toks
+        seg_start = 0
+        paren_depth = 0
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i].text
+            if t == "(":
+                paren_depth += 1
+            elif t == ")":
+                paren_depth = max(0, paren_depth - 1)
+            elif paren_depth == 0 and t in (";", "{", "}"):
+                seg = toks[seg_start:i]
+                in_fn = self._current_function() is not None
+                top = self.stack[-1] if self.stack else None
+                if t == ";":
+                    if in_fn:
+                        self._process_statement(seg)
+                    elif top is not None and top.kind == "record":
+                        self._parse_member(top.func, top.stash + seg)
+                        top.stash = []
+                    seg_start = i + 1
+                elif t == "{":
+                    if in_fn:
+                        self._process_statement(seg)
+                        self.stack.append(_Scope("block"))
+                    else:
+                        self._push_braced_scope(seg, top)
+                    seg_start = i + 1
+                else:  # "}"
+                    if in_fn:
+                        self._process_statement(seg)
+                    if self.stack:
+                        closed = self.stack.pop()
+                        if closed.kind == "record" and top is not None:
+                            pass  # record already registered
+                    seg_start = i + 1
+            i += 1
+        return SourceIR(self.path, self.functions, self.records,
+                        self.suppressions, frontend="syntax")
+
+    def _push_braced_scope(self, seg, top):
+        texts = [t.text for t in seg]
+        line = seg[0].line if seg else 1
+        if "namespace" in texts:
+            idx = texts.index("namespace")
+            name = texts[idx + 1] if idx + 1 < len(texts) and \
+                is_ident(texts[idx + 1]) else ""
+            self.stack.append(_Scope("namespace", name))
+            return
+        if "enum" in texts:
+            self.stack.append(_Scope("other"))
+            return
+        fn_sig = _parse_function_signature(seg)
+        if fn_sig is not None:
+            name, qual_parts = fn_sig
+            cls_chain = self._record_chain() + qual_parts
+            cls = "::".join(cls_chain)
+            qual = "::".join(self._namespaces() + cls_chain + [name])
+            func = FunctionIR(name, qual, cls, self.path, line)
+            self.functions.append(func)
+            self.stack.append(_Scope("function", name, func))
+            return
+        if any(k in texts for k in ("class", "struct", "union")):
+            name = _record_name_from_segment(texts)
+            if name:
+                chain = self._record_chain() + [name]
+                rec = RecordIR(
+                    "::".join(chain),
+                    "::".join(self._namespaces() + chain),
+                    self.path, line)
+                self.records.append(rec)
+                scope = _Scope("record", name)
+                scope.func = rec  # reuse the slot for the record
+                self.stack.append(scope)
+                return
+        # Unclassified braces at record scope are member initializers:
+        # stash the segment so the eventual ';' still parses the field.
+        if top is not None and top.kind == "record":
+            top.stash = top.stash + seg
+        self.stack.append(_Scope("other"))
+
+
+def parse_source(path, text):
+    return Parser(path, text).parse()

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""exma_analyze — semantic analysis passes over the project AST/IR.
+
+Four passes, each a ctest + CI gate (label: static-analysis):
+
+    lock-order          no cycles in the mutex acquisition graph
+    blocked-under-lock  no blocking call inside a critical section
+    layering            include DAG matches declared module DEPS
+    ondisk-abi          serialized layouts frozen in format_abi.lock
+
+Usage:
+    python3 tools/analyze/exma_analyze.py                   # all passes
+    python3 tools/analyze/exma_analyze.py --pass lock-order
+    python3 tools/analyze/exma_analyze.py --pass ondisk-abi --update
+    python3 tools/analyze/exma_analyze.py --frontend clang --json out.json
+    python3 tools/analyze/exma_analyze.py --pass lock-order FILE.cc ...
+
+Frontends: `clang` lowers real `clang -ast-dump=json` output (CI;
+version-pinned), `syntax` is the builtin parser (no toolchain needed —
+what the ctest gates run), `auto` picks clang when available. Findings
+print like compiler diagnostics; exit code is 1 when any finding
+survives suppressions, 2 on infrastructure errors.
+
+Suppress a deliberate site with `// analyze: allow(<pass>, <reason>)`
+on the finding line or the line above. The linter's
+`analyze-allow-reason` rule rejects reason-less suppressions.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import compiledb  # noqa: E402
+import cxxparse  # noqa: E402
+import frontends  # noqa: E402
+import pass_blocked  # noqa: E402
+import pass_layering  # noqa: E402
+import pass_lock_order  # noqa: E402
+import pass_ondisk_abi  # noqa: E402
+from project import Project, iter_source_files  # noqa: E402
+
+PASSES = {
+    "lock-order": pass_lock_order,
+    "blocked-under-lock": pass_blocked,
+    "layering": pass_layering,
+    "ondisk-abi": pass_ondisk_abi,
+}
+
+
+def repo_root_default():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def load_sources(proj, root, only_files):
+    """Read source texts + suppressions into the project. CMakeLists
+    are loaded too (the layering pass reads declared DEPS)."""
+    rels = []
+    if only_files:
+        for f in only_files:
+            rels.append(os.path.relpath(os.path.abspath(f), root))
+    else:
+        rels = iter_source_files(root)
+        src = os.path.join(root, "src")
+        if os.path.isdir(src):
+            for d in sorted(os.listdir(src)):
+                cml = os.path.join(src, d, "CMakeLists.txt")
+                if os.path.isfile(cml):
+                    rels.append(os.path.relpath(cml, root))
+    for rel in rels:
+        path = os.path.join(root, rel)
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                text = f.read()
+        except OSError as e:
+            print("exma_analyze: cannot read %s: %s" % (rel, e),
+                  file=sys.stderr)
+            sys.exit(2)
+        proj.add_source_text(rel, text,
+                             cxxparse.scan_suppressions(text))
+
+
+def lower_syntax(proj, cache):
+    for rel, text in sorted(proj.sources.items()):
+        if rel.endswith("CMakeLists.txt"):
+            continue
+        proj.add_ir(frontends.syntax_ir(
+            os.path.join(proj.root, rel), rel, text, cache))
+
+
+def lower_clang(proj, args, cache):
+    clang, version = frontends.resolve_clang(
+        require_major=args.require_clang_major)
+    print("exma_analyze: frontend clang %s (%s)" % (version, clang))
+    entries = compiledb.load(args.build)
+    src_prefix = os.path.join(os.path.abspath(proj.root), "src") + os.sep
+    tus = [e for e in entries
+           if os.path.abspath(e.file).startswith(src_prefix)]
+    if not tus:
+        print("exma_analyze: no src/ TUs in %s/compile_commands.json"
+              % args.build, file=sys.stderr)
+        sys.exit(2)
+    headers = [os.path.join(proj.root, r) for r in proj.sources
+               if r.endswith(".hh")]
+    hdr_digest = frontends.headers_digest(headers)
+    for e in tus:
+        proj.add_ir(frontends.clang_tu_ir(
+            clang, version, e, os.path.abspath(proj.root),
+            hdr_digest, cache))
+    return version
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="exma_analyze",
+        description="semantic analysis passes over the exma sources")
+    ap.add_argument("--root", default=repo_root_default(),
+                    help="project root (default: the repo)")
+    ap.add_argument("--build", default=None,
+                    help="build dir with compile_commands.json "
+                         "(default: <root>/build)")
+    ap.add_argument("--pass", dest="passes", action="append",
+                    choices=sorted(PASSES) + ["all"],
+                    help="pass to run (repeatable; default: all)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "syntax"),
+                    default="auto")
+    ap.add_argument("--require-clang-major", type=int, default=None,
+                    help="fail unless clang has this major version "
+                         "(the CI pin)")
+    ap.add_argument("--json", metavar="FILE",
+                    help="also write findings as JSON")
+    ap.add_argument("--update", action="store_true",
+                    help="ondisk-abi: regenerate format_abi.lock")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="disable the per-TU IR cache")
+    ap.add_argument("--cache-dir", default=None,
+                    help="IR cache location "
+                         "(default: <build>/analyze-cache)")
+    ap.add_argument("--list-passes", action="store_true")
+    ap.add_argument("files", nargs="*",
+                    help="restrict analysis to these sources "
+                         "(fixture gates)")
+    args = ap.parse_args(argv)
+
+    if args.list_passes:
+        for name in sorted(PASSES):
+            print(name)
+        return 0
+
+    root = os.path.abspath(args.root)
+    args.build = args.build or os.path.join(root, "build")
+    wanted = args.passes or ["all"]
+    if "all" in wanted:
+        wanted = sorted(PASSES)
+
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.path.join(args.build,
+                                                   "analyze-cache")
+        cache = frontends.IRCache(cache_dir)
+
+    proj = Project(root)
+    load_sources(proj, root, args.files)
+
+    frontend = args.frontend
+    if frontend == "auto":
+        try:
+            frontends.resolve_clang(
+                require_major=args.require_clang_major)
+            frontend = "clang"
+        except frontends.ClangNotFound:
+            frontend = "syntax"
+    needs_ir = any(p in wanted for p in
+                   ("lock-order", "blocked-under-lock", "ondisk-abi"))
+    if needs_ir:
+        if frontend == "clang" and not args.files:
+            try:
+                lower_clang(proj, args, cache)
+            except (frontends.ClangNotFound,
+                    frontends.ClangVersionMismatch,
+                    FileNotFoundError, RuntimeError) as e:
+                print("exma_analyze: %s" % e, file=sys.stderr)
+                return 2
+        else:
+            # explicit file lists always use the syntax frontend (a
+            # fixture TU has no compile-db entry)
+            lower_syntax(proj, cache)
+
+    findings = []
+    for name in wanted:
+        mod = PASSES[name]
+        if name == "ondisk-abi":
+            found = mod.run(proj, update=args.update,
+                            build_dir=args.build)
+        else:
+            found = mod.run(proj)
+        findings.extend(found)
+
+    for f in findings:
+        print(str(f))
+    if cache is not None and (cache.hits or cache.misses):
+        print("exma_analyze: IR cache: %d hit(s), %d miss(es)"
+              % (cache.hits, cache.misses))
+    if args.json:
+        payload = {
+            "frontend": frontend,
+            "passes": wanted,
+            "findings": [f.to_dict() for f in findings],
+        }
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+    if findings:
+        print("exma_analyze: %d finding(s) across %s"
+              % (len(findings), ", ".join(wanted)), file=sys.stderr)
+        return 1
+    print("exma_analyze: clean (%s; frontend %s)"
+          % (", ".join(wanted), frontend))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

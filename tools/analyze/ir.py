@@ -1,0 +1,209 @@
+"""Intermediate representation shared by every analyzer frontend.
+
+Both frontends — the clang `-ast-dump=json` adapter and the pure-Python
+syntactic parser (cxxparse.py) — lower a translation unit to this same
+small IR, and every pass consumes only the IR. That keeps the passes
+frontend-agnostic: CI runs them off real clang ASTs, a clang-less
+machine runs them off the syntactic frontend, and the results agree
+because the IR is the contract (unit tests in test_exma_analyze.py pin
+both lowerings).
+
+The IR is deliberately coarse. It models exactly what the four passes
+need — RAII lock acquisitions with their scopes, call sites with the
+locks held around them, record layouts, include edges — and nothing
+else. Facts a pass cannot prove from this IR (e.g. a destructor run by
+a shared_ptr reassignment) are out of scope and documented per pass.
+"""
+
+import json
+
+
+class LockAcq:
+    """One lock acquisition inside a function body.
+
+    `mutex` is the canonical capability name ("Class::member_" when the
+    expression resolves to a member, else "file-local:expr"); `under`
+    are the canonical names already held at the acquisition point,
+    outermost first.
+    """
+
+    def __init__(self, mutex, line, under=()):
+        self.mutex = mutex
+        self.line = line
+        self.under = tuple(under)
+
+    def to_dict(self):
+        return {"mutex": self.mutex, "line": self.line,
+                "under": list(self.under)}
+
+    @staticmethod
+    def from_dict(d):
+        return LockAcq(d["mutex"], d["line"], d["under"])
+
+
+class CallSite:
+    """One call expression inside a function body.
+
+    `callee` is the unqualified name actually dispatched ("kill" for
+    `w->kill()`), `callee_qual` any explicit qualification spelled at
+    the call ("ShardWorker::kill", "" when unqualified), `receiver` the
+    immediate receiver's base identifier ("w" for `w->kill()`,
+    "fut" for `at.fut.get()`, "" for free calls), `args` the raw
+    argument text (for the condition-variable wait exemption), and
+    `locks` / `lock_vars` the canonical mutex names and the local
+    MutexLock variable names held around the call, outermost first.
+    """
+
+    def __init__(self, callee, line, receiver="", callee_qual="", args="",
+                 locks=(), lock_vars=()):
+        self.callee = callee
+        self.line = line
+        self.receiver = receiver
+        self.callee_qual = callee_qual
+        self.args = args
+        self.locks = tuple(locks)
+        self.lock_vars = tuple(lock_vars)
+
+    def to_dict(self):
+        return {"callee": self.callee, "line": self.line,
+                "receiver": self.receiver,
+                "callee_qual": self.callee_qual, "args": self.args,
+                "locks": list(self.locks),
+                "lock_vars": list(self.lock_vars)}
+
+    @staticmethod
+    def from_dict(d):
+        return CallSite(d["callee"], d["line"], d["receiver"],
+                        d["callee_qual"], d["args"], d["locks"],
+                        d["lock_vars"])
+
+
+class FunctionIR:
+    """One function definition: where it lives and what it does."""
+
+    def __init__(self, name, qual, cls, path, line, acquires=None,
+                 calls=None):
+        self.name = name        # "kill"
+        self.qual = qual        # "exma::ShardWorker::kill"
+        self.cls = cls          # "ShardWorker" ("" for free functions)
+        self.path = path        # repo-relative source path
+        self.line = line
+        self.acquires = list(acquires or [])
+        self.calls = list(calls or [])
+
+    def to_dict(self):
+        return {"name": self.name, "qual": self.qual, "cls": self.cls,
+                "path": self.path, "line": self.line,
+                "acquires": [a.to_dict() for a in self.acquires],
+                "calls": [c.to_dict() for c in self.calls]}
+
+    @staticmethod
+    def from_dict(d):
+        return FunctionIR(
+            d["name"], d["qual"], d["cls"], d["path"], d["line"],
+            [LockAcq.from_dict(a) for a in d["acquires"]],
+            [CallSite.from_dict(c) for c in d["calls"]])
+
+
+class Field:
+    """One non-static data member: name, type spelling, array extent
+    text ("" for scalars, "[8]" for `char magic[8]`)."""
+
+    def __init__(self, name, type_spelling, array=""):
+        self.name = name
+        self.type_spelling = type_spelling
+        self.array = array
+
+    def to_dict(self):
+        return {"name": self.name, "type": self.type_spelling,
+                "array": self.array}
+
+    @staticmethod
+    def from_dict(d):
+        return Field(d["name"], d["type"], d["array"])
+
+
+class RecordIR:
+    """One struct/class definition with its data members in
+    declaration order (the property the ondisk-abi pass freezes)."""
+
+    def __init__(self, name, qual, path, line, fields=None):
+        self.name = name    # "Block" (or "PackedRank::Block" nested)
+        self.qual = qual    # "exma::PackedRank::Block"
+        self.path = path
+        self.line = line
+        self.fields = list(fields or [])
+
+    def to_dict(self):
+        return {"name": self.name, "qual": self.qual, "path": self.path,
+                "line": self.line,
+                "fields": [f.to_dict() for f in self.fields]}
+
+    @staticmethod
+    def from_dict(d):
+        return RecordIR(d["name"], d["qual"], d["path"], d["line"],
+                        [Field.from_dict(f) for f in d["fields"]])
+
+
+class SourceIR:
+    """Everything extracted from one source file (or one TU)."""
+
+    def __init__(self, path, functions=None, records=None,
+                 suppressions=None, frontend=""):
+        self.path = path
+        self.functions = list(functions or [])
+        self.records = list(records or [])
+        # line -> [(pass_name, reason)] from `// analyze: allow(...)`
+        self.suppressions = dict(suppressions or {})
+        self.frontend = frontend  # "syntax" | "clang <version>"
+
+    def suppressed(self, pass_name, line):
+        """A finding is suppressed by an allow() on its own line or the
+        line directly above (the conventional comment position)."""
+        for probe in (line, line - 1):
+            for name, _reason in self.suppressions.get(probe, ()):
+                if name == pass_name:
+                    return True
+        return False
+
+    def to_dict(self):
+        return {"path": self.path, "frontend": self.frontend,
+                "functions": [f.to_dict() for f in self.functions],
+                "records": [r.to_dict() for r in self.records],
+                "suppressions": {str(k): v for k, v in
+                                 self.suppressions.items()}}
+
+    @staticmethod
+    def from_dict(d):
+        return SourceIR(
+            d["path"],
+            [FunctionIR.from_dict(f) for f in d["functions"]],
+            [RecordIR.from_dict(r) for r in d["records"]],
+            {int(k): [tuple(x) for x in v]
+             for k, v in d["suppressions"].items()},
+            d.get("frontend", ""))
+
+    def dumps(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def loads(s):
+        return SourceIR.from_dict(json.loads(s))
+
+
+class Finding:
+    """One analyzer diagnostic, formatted like a compiler's."""
+
+    def __init__(self, path, line, pass_name, message):
+        self.path = path
+        self.line = line
+        self.pass_name = pass_name
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.pass_name,
+                                   self.message)
+
+    def to_dict(self):
+        return {"path": self.path, "line": self.line,
+                "pass": self.pass_name, "message": self.message}

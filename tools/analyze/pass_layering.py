@@ -1,0 +1,149 @@
+"""layering: the include DAG must match the declared module DAG.
+
+Modules are the direct subdirectories of src/ that call
+`exma_add_module(<name> ... DEPS exma::a exma::b ...)` in their
+CMakeLists.txt. Two failure classes:
+
+* undeclared edge — a file in src/A/ includes "B/..." but A's
+  CMakeLists.txt does not declare `exma::B` in DEPS (the build only
+  works through transitive link flags, and the dependency is invisible
+  to anyone reading the module graph);
+* cycle — the union of declared and actual edges contains a cycle, so
+  the modules cannot be layered (and cannot be split across the
+  planned process boundary).
+
+Suppress a deliberate edge with `// analyze: allow(layering, reason)`
+on the include line.
+"""
+
+import os
+import re
+
+from ir import Finding
+
+PASS = "layering"
+
+MODULE_RE = re.compile(r"exma_add_module\(\s*(\w+)", re.S)
+DEPS_RE = re.compile(r"\bDEPS\b((?:\s+exma::\w+)+)", re.S)
+
+
+def load_modules(proj):
+    """{module: set(declared dep modules)} from src/*/CMakeLists.txt
+    texts (pre-loaded into proj.sources by the driver)."""
+    modules = {}
+    for rel, text in proj.sources.items():
+        if not rel.endswith("CMakeLists.txt"):
+            continue
+        parts = rel.split(os.sep)
+        if len(parts) != 3 or parts[0] != "src":
+            continue
+        # strip "#" comments — a DEPS mentioned in prose must not
+        # count as a declaration
+        text = re.sub(r"#[^\n]*", "", text)
+        m = MODULE_RE.search(text)
+        if not m:
+            continue
+        name = m.group(1)
+        deps = set()
+        dm = DEPS_RE.search(text)
+        if dm:
+            deps = set(re.findall(r"exma::(\w+)", dm.group(1)))
+        modules[name] = deps
+    return modules
+
+
+def module_of(rel):
+    parts = rel.split(os.sep)
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return ""
+
+
+def actual_edges(proj, modules):
+    """{(src_mod, dst_mod): [(path, line)]} from include lines."""
+    edges = {}
+    inc_re = re.compile(r'^\s*#\s*include\s*"(\w+)/[^"]+"')
+    for rel, text in proj.sources.items():
+        src_mod = module_of(rel)
+        if not src_mod or src_mod not in modules \
+                or rel.endswith("CMakeLists.txt"):
+            continue
+        for i, line in enumerate(text.split("\n"), 1):
+            m = inc_re.match(line)
+            if not m:
+                continue
+            dst_mod = m.group(1)
+            if dst_mod == src_mod or dst_mod not in modules:
+                continue
+            edges.setdefault((src_mod, dst_mod), []).append((rel, i))
+    return edges
+
+
+def _find_cycle(nodes, adj):
+    """One cycle as a node list, or None (iterative DFS, 3-color)."""
+    color = {n: 0 for n in nodes}
+    parent = {}
+    for start in sorted(nodes):
+        if color[start]:
+            continue
+        stack = [(start, iter(sorted(adj.get(start, ()))))]
+        color[start] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in color:
+                    continue
+                if color[nxt] == 0:
+                    color[nxt] = 1
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(adj.get(nxt, ())))))
+                    advanced = True
+                    break
+                if color[nxt] == 1:
+                    cyc = [nxt]
+                    cur = node
+                    while cur != nxt:
+                        cyc.append(cur)
+                        cur = parent[cur]
+                    cyc.reverse()
+                    return cyc
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+        # continue with next start
+    return None
+
+
+def run(proj):
+    modules = load_modules(proj)
+    edges = actual_edges(proj, modules)
+    findings = []
+    for (src_mod, dst_mod), sites in sorted(edges.items()):
+        if dst_mod in modules.get(src_mod, ()):
+            continue
+        sites = [s for s in sites
+                 if not proj.suppressed(PASS, s[0], s[1])]
+        if not sites:
+            continue
+        path, line = sites[0]
+        where = ", ".join("%s:%d" % s for s in sites[:4])
+        findings.append(Finding(
+            path, line, PASS,
+            "module '%s' includes \"%s/...\" (%s) but "
+            "src/%s/CMakeLists.txt does not declare DEPS exma::%s"
+            % (src_mod, dst_mod, where, src_mod, dst_mod)))
+    # cycle check over declared ∪ actual
+    adj = {m: set(d for d in deps if d in modules)
+           for m, deps in modules.items()}
+    for (s, d) in edges:
+        adj.setdefault(s, set()).add(d)
+    cyc = _find_cycle(set(modules), adj)
+    if cyc is not None:
+        loop = " -> ".join(cyc + [cyc[0]])
+        findings.append(Finding(
+            "src/%s/CMakeLists.txt" % cyc[0], 1, PASS,
+            "module dependency cycle: %s — the module graph must stay "
+            "a DAG (declared DEPS and include edges both count)" % loop))
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return findings

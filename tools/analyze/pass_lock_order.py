@@ -1,0 +1,115 @@
+"""lock-order: build the mutex acquisition graph and reject cycles.
+
+An edge A -> B means some code path acquires B while holding A. Edges
+come from two sources:
+
+* direct nesting — a `MutexLock` (or manual `.lock()`) taken while
+  another is held in the same function body;
+* one level of inlining — a call made while holding A to a project
+  function whose body acquires B. Calls resolve per
+  project.resolve_call (qualified tail, else every same-named
+  definition — conservative; suppress a deliberate site with
+  `// analyze: allow(lock-order, reason)`).
+
+Every cycle is reported once, with the two (or more) stack-shaped
+witness paths that close it — one line per edge showing who held what
+where. A cycle is suppressed only if every edge on it is suppressed.
+"""
+
+from ir import Finding
+
+PASS = "lock-order"
+
+
+class Edge:
+    __slots__ = ("src", "dst", "path", "line", "witness")
+
+    def __init__(self, src, dst, path, line, witness):
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.line = line
+        self.witness = witness  # human-readable stack description
+
+
+def build_edges(proj):
+    edges = []
+    for fn in proj.functions:
+        for acq in fn.acquires:
+            for held in acq.under:
+                if held == acq.mutex:
+                    continue
+                edges.append(Edge(
+                    held, acq.mutex, fn.path, acq.line,
+                    "%s (%s:%d) acquires %s while holding %s"
+                    % (fn.qual, fn.path, acq.line, acq.mutex, held)))
+        for call in fn.calls:
+            if not call.locks:
+                continue
+            for callee in proj.resolve_call(call):
+                if callee is fn:
+                    continue
+                for acq in callee.acquires:
+                    for held in call.locks:
+                        if held == acq.mutex:
+                            continue
+                        edges.append(Edge(
+                            held, acq.mutex, fn.path, call.line,
+                            "%s (%s:%d) holds %s and calls %s, which "
+                            "acquires %s (%s:%d)"
+                            % (fn.qual, fn.path, call.line, held,
+                               callee.qual, acq.mutex, callee.path,
+                               acq.line)))
+    return edges
+
+
+def _cycles(nodes, adj):
+    """Elementary cycles via DFS from each node in sorted order; each
+    cycle reported once, rotated to start at its smallest node."""
+    seen = set()
+    cycles = []
+    for start in sorted(nodes):
+        stack = [(start, [start])]
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(adj.get(node, ())):
+                if nxt == start:
+                    cyc = tuple(path)
+                    smallest = min(range(len(cyc)),
+                                   key=lambda i: cyc[i])
+                    canon = cyc[smallest:] + cyc[:smallest]
+                    if canon not in seen:
+                        seen.add(canon)
+                        cycles.append(list(canon))
+                elif nxt not in path and nxt > start and len(path) < 8:
+                    stack.append((nxt, path + [nxt]))
+    return cycles
+
+
+def run(proj):
+    edges = build_edges(proj)
+    adj = {}
+    by_pair = {}
+    for e in edges:
+        adj.setdefault(e.src, set()).add(e.dst)
+        by_pair.setdefault((e.src, e.dst), []).append(e)
+    nodes = set(adj)
+    for dsts in adj.values():
+        nodes |= dsts
+    findings = []
+    for cyc in _cycles(nodes, adj):
+        pairs = [(cyc[i], cyc[(i + 1) % len(cyc)])
+                 for i in range(len(cyc))]
+        witnesses = [min(by_pair[p], key=lambda e: (e.path, e.line))
+                     for p in pairs]
+        if all(proj.suppressed(PASS, w.path, w.line)
+               for w in witnesses):
+            continue
+        head = witnesses[0]
+        lines = ["lock-order cycle: " + " -> ".join(cyc + [cyc[0]])]
+        for i, w in enumerate(witnesses, 1):
+            lines.append("  path %d: %s" % (i, w.witness))
+        findings.append(Finding(head.path, head.line, PASS,
+                                "\n".join(lines)))
+    findings.sort(key=lambda f: (f.path, f.line, f.message))
+    return findings

@@ -1,0 +1,235 @@
+"""ondisk-abi: every serialized type's layout is frozen in a lock file.
+
+PR 7's static_asserts pin sizeof per POD; this pass upgrades that to
+an offset-exact golden file. It collects every type spelled at a
+`writeArray<T>` / `viewArray<T>` call site (plus FileHeader /
+SectionEntry, plus records embedded in locked records), generates a
+probe program printing `sizeof` / `alignof` / `offsetof` for each with
+the *project's own compiler and flags*, and compares the output to the
+committed `src/io/format_abi.lock`:
+
+* layouts equal, version equal        -> clean;
+* layouts differ, version unchanged   -> FAIL: the on-disk format
+  changed silently — bump kFormatVersion, then regenerate;
+* version bumped (or lock missing)    -> FAIL: regenerate with
+  `exma_analyze.py --pass ondisk-abi --update`.
+
+A compile probe (rather than AST-side offset math) is deliberate: the
+numbers come from the compiler that builds the project, so padding,
+alignas and ABI quirks are exact by construction, with any frontend.
+"""
+
+import difflib
+import os
+import re
+import subprocess
+import tempfile
+
+import compiledb
+from ir import Finding
+
+PASS = "ondisk-abi"
+
+SPELL_RE = re.compile(r"(?:writeArray|viewArray)\s*<\s*([\w:]+)\s*>")
+VERSION_RE = re.compile(r"kFormatVersion\s*=\s*(\d+)")
+
+ALWAYS_LOCKED = ("FileHeader", "SectionEntry")
+SCALARS = {"u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"}
+
+LOCK_REL = os.path.join("src", "io", "format_abi.lock")
+FORMAT_HH_REL = os.path.join("src", "io", "format.hh")
+
+
+def spelled_types(proj):
+    """Type spellings at serialization call sites, sorted; suppressed
+    lines (`// analyze: allow(ondisk-abi, ...)`) are excluded."""
+    out = set()
+    for rel, text in sorted(proj.sources.items()):
+        if rel.endswith("CMakeLists.txt"):
+            continue
+        for i, line in enumerate(text.split("\n"), 1):
+            for m in SPELL_RE.finditer(line):
+                if not proj.suppressed(PASS, rel, i):
+                    out.add(m.group(1))
+    return sorted(out)
+
+
+def locked_records(proj, spelled):
+    """RecordIRs to freeze: spelled records, the always-locked header
+    structs, and records embedded as fields of locked records."""
+    work = list(spelled) + list(ALWAYS_LOCKED)
+    seen = {}
+    while work:
+        name = work.pop(0)
+        if name in SCALARS or name in seen:
+            continue
+        rec = proj.record_by_name(name)
+        if rec is None or rec.qual in {r.qual for r in seen.values()}:
+            seen[name] = rec
+            continue
+        seen[name] = rec
+        for f in rec.fields:
+            base = f.type_spelling.split("<")[0].split("::")[-1].strip()
+            if base and base not in seen and proj.record_by_name(base):
+                work.append(base)
+    recs = [r for r in seen.values() if r is not None]
+    recs.sort(key=lambda r: r.qual)
+    missing = [n for n, r in sorted(seen.items())
+               if r is None and n not in SCALARS]
+    return recs, missing
+
+
+def generate_probe(proj, spelled, records):
+    includes = {"common/types.hh"}
+    for r in records:
+        p = r.path
+        if p.startswith("src" + os.sep):
+            p = p[len("src" + os.sep):]
+        includes.add(p.replace(os.sep, "/"))
+    lines = ["#include <cstddef>", "#include <cstdio>"]
+    lines += ['#include "%s"' % p for p in sorted(includes)]
+    lines += ["", "int main() {"]
+    for s in sorted(set(spelled) & SCALARS):
+        lines.append(
+            '    std::printf("type exma::%s size %%zu align %%zu\\n", '
+            "sizeof(exma::%s), alignof(exma::%s));" % (s, s, s))
+    for r in records:
+        q = r.qual
+        lines.append(
+            '    std::printf("type %s size %%zu align %%zu\\n", '
+            "sizeof(%s), alignof(%s));" % (q, q, q))
+        for f in r.fields:
+            lines.append(
+                '    std::printf("field %s offset %%zu size %%zu\\n", '
+                "offsetof(%s, %s), sizeof(%s::%s));"
+                % (f.name, q, f.name, q, f.name))
+    lines += ["    return 0;", "}", ""]
+    return "\n".join(lines)
+
+
+def compile_and_run_probe(probe_src, root, build_dir):
+    flags = compiledb.default_flags(root)
+    if build_dir:
+        try:
+            entries = compiledb.load(build_dir)
+            by_file = compiledb.index_by_file(entries)
+            io_tus = [p for p in by_file
+                      if os.sep + "io" + os.sep in p]
+            if io_tus:
+                flags = by_file[sorted(io_tus)[0]].frontend_flags()
+        except FileNotFoundError:
+            pass
+    cxx = os.environ.get("CXX", "c++")
+    with tempfile.TemporaryDirectory(prefix="exma-abi-") as tmp:
+        src = os.path.join(tmp, "abi_probe.cc")
+        binary = os.path.join(tmp, "abi_probe")
+        with open(src, "w", encoding="utf-8") as f:
+            f.write(probe_src)
+        cc = subprocess.run([cxx] + flags + ["-o", binary, src],
+                            capture_output=True, text=True)
+        if cc.returncode != 0:
+            raise RuntimeError("ABI probe failed to compile:\n%s"
+                               % cc.stderr.strip()[:2000])
+        run = subprocess.run([binary], capture_output=True, text=True)
+        if run.returncode != 0:
+            raise RuntimeError("ABI probe failed to run (exit %d)"
+                               % run.returncode)
+        return run.stdout
+
+
+def current_format_version(root):
+    path = os.path.join(root, FORMAT_HH_REL)
+    try:
+        with open(path, encoding="utf-8") as f:
+            m = VERSION_RE.search(f.read())
+    except OSError:
+        return None
+    return int(m.group(1)) if m else None
+
+
+def render_lock(version, probe_out):
+    head = [
+        "# exma on-disk ABI lock — layouts of every serialized type,",
+        "# as measured by the project compiler. Regenerate after a",
+        "# deliberate format change (kFormatVersion bump) with:",
+        "#   python3 tools/analyze/exma_analyze.py --pass ondisk-abi"
+        " --update",
+        "format_version %d" % version,
+    ]
+    return "\n".join(head) + "\n" + probe_out
+
+
+def parse_lock(text):
+    """(version_or_None, payload_lines) — payload excludes comments
+    and the version line."""
+    version = None
+    payload = []
+    for line in text.split("\n"):
+        line = line.rstrip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r"format_version\s+(\d+)$", line)
+        if m:
+            version = int(m.group(1))
+            continue
+        payload.append(line)
+    return version, payload
+
+
+def run(proj, update=False, build_dir=None):
+    root = proj.root
+    findings = []
+    version = current_format_version(root)
+    if version is None:
+        return [Finding(FORMAT_HH_REL, 1, PASS,
+                        "cannot read kFormatVersion from %s"
+                        % FORMAT_HH_REL)]
+    spelled = spelled_types(proj)
+    records, missing = locked_records(proj, spelled)
+    for name in missing:
+        findings.append(Finding(
+            LOCK_REL, 1, PASS,
+            "serialized type %r has no visible definition in the "
+            "analyzed sources — the analyzer cannot freeze its "
+            "layout" % name))
+    probe = generate_probe(proj, spelled, records)
+    try:
+        out = compile_and_run_probe(probe, root, build_dir)
+    except RuntimeError as e:
+        findings.append(Finding(LOCK_REL, 1, PASS, str(e)))
+        return findings
+    lock_path = os.path.join(root, LOCK_REL)
+    if update:
+        with open(lock_path, "w", encoding="utf-8") as f:
+            f.write(render_lock(version, out))
+        return findings
+    try:
+        with open(lock_path, encoding="utf-8") as f:
+            lock_version, lock_payload = parse_lock(f.read())
+    except OSError:
+        findings.append(Finding(
+            LOCK_REL, 1, PASS,
+            "%s is missing — generate it with --pass ondisk-abi "
+            "--update and commit it" % LOCK_REL))
+        return findings
+    _, cur_payload = parse_lock(render_lock(version, out))
+    if lock_version != version:
+        findings.append(Finding(
+            LOCK_REL, 1, PASS,
+            "lock file records format_version %s but %s declares %d "
+            "— regenerate the lock (--pass ondisk-abi --update) as "
+            "part of the version bump" % (lock_version, FORMAT_HH_REL,
+                                          version)))
+        return findings
+    if lock_payload != cur_payload:
+        diff = list(difflib.unified_diff(
+            lock_payload, cur_payload, fromfile="format_abi.lock",
+            tofile="measured", lineterm="", n=1))
+        findings.append(Finding(
+            LOCK_REL, 1, PASS,
+            "on-disk layout changed without a kFormatVersion bump "
+            "(still %d). Readers of existing index files will "
+            "misinterpret them. Bump kFormatVersion in %s, then "
+            "regenerate the lock with --pass ondisk-abi --update.\n%s"
+            % (version, FORMAT_HH_REL, "\n".join(diff[:40]))))
+    return findings

@@ -1,0 +1,104 @@
+"""Merged whole-project view the passes consume.
+
+A Project is the union of every per-file/per-TU SourceIR plus the raw
+source texts (the layering and ondisk-abi passes scan text for
+includes and writeArray<T> spellings — properties the AST-level IR
+does not need to carry). Function resolution here is what gives the
+lock-order and blocked-under-lock passes their "one level of
+inlining": a call site resolves to project function definitions by
+explicit qualification when spelled, else by name (conservatively —
+all same-named definitions)."""
+
+import os
+import re
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.M)
+
+
+class Project:
+    def __init__(self, root):
+        self.root = root
+        self.sources = {}       # rel path -> text
+        self.functions = []
+        self.records = []
+        self.suppressions = {}  # rel path -> {line: [(pass, reason)]}
+        self._by_name = None
+        self._by_qual_tail = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_source_text(self, rel, text, suppressions):
+        self.sources[rel] = text
+        self.suppressions[rel] = suppressions
+
+    def add_ir(self, ir):
+        seen_fn = {(f.qual, f.path, f.line) for f in self.functions}
+        for f in ir.functions:
+            if (f.qual, f.path, f.line) not in seen_fn:
+                self.functions.append(f)
+        seen_rec = {(r.qual, r.path) for r in self.records}
+        for r in ir.records:
+            if (r.qual, r.path) not in seen_rec:
+                self.records.append(r)
+        self._by_name = None
+        self._by_qual_tail = None
+
+    # -- queries ---------------------------------------------------------
+
+    def suppressed(self, pass_name, path, line):
+        per_file = self.suppressions.get(path, {})
+        for probe in (line, line - 1):
+            for name, _reason in per_file.get(probe, ()):
+                if name == pass_name:
+                    return True
+        return False
+
+    def _build_indexes(self):
+        self._by_name = {}
+        self._by_qual_tail = {}
+        for f in self.functions:
+            self._by_name.setdefault(f.name, []).append(f)
+            parts = f.qual.split("::")
+            for i in range(len(parts)):
+                tail = "::".join(parts[i:])
+                self._by_qual_tail.setdefault(tail, []).append(f)
+
+    def resolve_call(self, call):
+        """Project function definitions a call site may dispatch to.
+        Qualified spellings match by qualified-name tail; unqualified
+        ones by bare name (every same-named definition — conservative
+        by design, suppressible per site)."""
+        if self._by_name is None:
+            self._build_indexes()
+        if call.callee_qual:
+            return list(self._by_qual_tail.get(call.callee_qual, ()))
+        return list(self._by_name.get(call.callee, ()))
+
+    def record_by_name(self, spelled):
+        """RecordIR whose name matches a spelled type ("ClampedLeaf",
+        "PackedRank::Block"), preferring exact name matches."""
+        if self._by_name is None:
+            self._build_indexes()
+        exact = [r for r in self.records if r.name == spelled]
+        if exact:
+            return exact[0]
+        tail = [r for r in self.records
+                if r.qual.endswith("::" + spelled)]
+        return tail[0] if tail else None
+
+    def includes_of(self, rel):
+        return INCLUDE_RE.findall(self.sources.get(rel, ""))
+
+
+def iter_source_files(root, subdirs=("src",), exts=(".hh", ".cc")):
+    """Repo-relative paths of project sources, sorted."""
+    out = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames.sort()
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] in exts:
+                    out.append(os.path.relpath(
+                        os.path.join(dirpath, fn), root))
+    return out

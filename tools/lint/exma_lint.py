@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """exma-lint: fast checks for project invariants clang-tidy can't express.
 
-Four rules, each born from a convention an earlier PR established and
+Seven rules, each born from a convention an earlier PR established and
 that code review alone won't keep enforced:
 
   bare-assert        src/**.{hh,cc} must not use bare assert() or
@@ -34,13 +34,24 @@ that code review alone won't keep enforced:
                      an observed-ready / deadline-bounded wait, never
                      block unconditionally.
 
-  mutex-annotations  src/** must not declare std::mutex (or friends) or
-                     use the raw std lock adapters outside
+  mutex-annotations  src/** must not declare std::mutex (or friends),
+                     the raw std lock adapters, or a raw
+                     std::condition_variable outside
                      common/thread_annotations.hh. Shared state is an
                      exma::Mutex with EXMA_GUARDED_BY members locked
-                     via exma::MutexLock, so Clang's -Wthread-safety
-                     can prove every access; a bare std::mutex is
-                     invisible to the analysis.
+                     via exma::MutexLock, and waits go through
+                     exma::CondVar (which takes the MutexLock
+                     directly), so Clang's -Wthread-safety can prove
+                     every access and the blocked-under-lock analyzer
+                     can recognize every wait; a bare std::mutex or cv
+                     is invisible to both.
+
+  analyze-allow-reason  every `// analyze: allow(<pass>, <reason>)`
+                     suppression for tools/analyze/exma_analyze.py
+                     must name a real pass and carry a non-empty
+                     reason. A reason-less allow is an unreviewable
+                     mute; a typo'd pass name suppresses nothing and
+                     rots silently.
 
   ondisk-pod-assert  every writeArray<T> / viewArray<T> call site (the
                      persistent .exma.* format, src/io/format.hh) must
@@ -54,7 +65,8 @@ that code review alone won't keep enforced:
                      forcing the author to bump kFormatVersion.
 
 Usage:
-    python3 tools/lint/exma_lint.py [--root DIR] [--list-rules]
+    python3 tools/lint/exma_lint.py [--root DIR] [--rule NAME ...]
+                                    [--json FILE] [--list-rules]
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 Run directly or via CTest (lint.exma_lint); unit tests live in
@@ -62,6 +74,7 @@ tools/lint/test_exma_lint.py (no pytest dependency).
 """
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -83,6 +96,10 @@ class Finding:
     def __str__(self):
         return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
                                    self.message)
+
+    def to_dict(self):
+        return {"path": self.path, "line": self.line,
+                "rule": self.rule, "message": self.message}
 
 
 def strip_comments_and_strings(text):
@@ -340,7 +357,7 @@ def check_no_naked_future_get(root):
 RAW_MUTEX_RE = re.compile(
     r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex"
     r"|recursive_timed_mutex|lock_guard|unique_lock|scoped_lock"
-    r"|shared_lock)\b")
+    r"|shared_lock|condition_variable(?:_any)?)\b")
 
 MUTEX_EXEMPT = {os.path.join("src", "common", "thread_annotations.hh")}
 
@@ -353,12 +370,20 @@ def check_mutex_annotations(root):
         stripped = strip_comments_and_strings(
             read_text(os.path.join(root, rel)))
         for line, m in iter_matches(RAW_MUTEX_RE, stripped):
+            if m.group(1).startswith("condition_variable"):
+                hint = ("use exma::CondVar "
+                        "(common/thread_annotations.hh), whose waits "
+                        "take the exma::MutexLock directly — raw cv "
+                        "waits are invisible to -Wthread-safety and "
+                        "to the blocked-under-lock analyzer")
+            else:
+                hint = ("use exma::Mutex + EXMA_GUARDED_BY members "
+                        "and lock via exma::MutexLock "
+                        "(common/thread_annotations.hh)")
             findings.append(Finding(
                 rel, line, "mutex-annotations",
-                "raw %s in src/ is invisible to -Wthread-safety; use "
-                "exma::Mutex + EXMA_GUARDED_BY members and lock via "
-                "exma::MutexLock (common/thread_annotations.hh)"
-                % m.group(0)))
+                "raw %s in src/ is invisible to -Wthread-safety; %s"
+                % (m.group(0), hint)))
     return findings
 
 
@@ -415,10 +440,52 @@ def check_ondisk_pod_assert(root):
 
 
 # --------------------------------------------------------------------------
+# Rule: analyze-allow-reason
+# --------------------------------------------------------------------------
+
+# Mirrors SUPPRESS_RE in tools/analyze/cxxparse.py (kept in sync by the
+# unit tests on both sides). Scans raw text — the allow lives in a
+# comment, which strip_comments_and_strings would blank out.
+ANALYZE_ALLOW_RE = re.compile(
+    r"(?://|/\*)\s*analyze:\s*allow\(\s*([\w-]+)\s*"
+    r"(?:,\s*([^)]*?)\s*)?\)")
+
+ANALYZE_PASSES = ("blocked-under-lock", "layering", "lock-order",
+                  "ondisk-abi")
+
+ANALYZE_ALLOW_SCAN_DIRS = ("src", "tests", "tools", "bench")
+
+
+def check_analyze_allow_reason(root):
+    findings = []
+    for sub in ANALYZE_ALLOW_SCAN_DIRS:
+        for rel in cxx_files_under(root, sub):
+            text = read_text(os.path.join(root, rel))
+            for m in ANALYZE_ALLOW_RE.finditer(text):
+                line = text.count("\n", 0, m.start()) + 1
+                pass_name, reason = m.group(1), m.group(2)
+                if pass_name not in ANALYZE_PASSES:
+                    findings.append(Finding(
+                        rel, line, "analyze-allow-reason",
+                        "analyze: allow(%s, ...) names an unknown "
+                        "pass — it suppresses nothing; one of: %s"
+                        % (pass_name, ", ".join(ANALYZE_PASSES))))
+                if not (reason or "").strip():
+                    findings.append(Finding(
+                        rel, line, "analyze-allow-reason",
+                        "analyze: allow(%s) has no reason; write "
+                        "allow(%s, <why this site is deliberate>) so "
+                        "the suppression is reviewable"
+                        % (pass_name, pass_name)))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
 RULES = {
+    "analyze-allow-reason": check_analyze_allow_reason,
     "bare-assert": check_bare_assert,
     "bench-json": check_bench_json,
     "concurrency-label": check_concurrency_label,
@@ -448,6 +515,8 @@ def main(argv=None):
                              "from this script)")
     parser.add_argument("--rule", action="append", choices=sorted(RULES),
                         help="run only this rule (repeatable)")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write findings as JSON (CI artifact)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and exit")
     args = parser.parse_args(argv)
@@ -466,6 +535,14 @@ def main(argv=None):
     findings = run_rules(root, args.rule)
     for f in findings:
         print(f)
+    if args.json:
+        payload = {
+            "rules": sorted(args.rule or RULES),
+            "findings": [f.to_dict() for f in findings],
+        }
+        with open(args.json, "w", encoding="utf-8") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
     if findings:
         print("exma-lint: %d finding(s)" % len(findings), file=sys.stderr)
         return 1

@@ -7,6 +7,7 @@ rule exists for.
 Run directly (no pytest dependency): python3 tools/lint/test_exma_lint.py -v
 """
 
+import json
 import os
 import subprocess
 import sys
@@ -188,6 +189,33 @@ class HotCache
             [(f.rule, f.path) for f in findings],
             [("mutex-annotations", rel)] * 3)  # decl + guard + its arg
 
+    def test_raw_condition_variable_is_flagged(self):
+        rel = self.tree.write("src/serve/queue.hh", """\
+#include <condition_variable>
+class Queue
+{
+    std::condition_variable cv_;
+    std::condition_variable_any any_cv_;
+};
+""")
+        findings = self.rules("mutex-annotations")
+        self.assertEqual(
+            [(f.rule, f.path) for f in findings],
+            [("mutex-annotations", rel)] * 2)
+        self.assertIn("exma::CondVar", findings[0].message)
+
+    def test_exma_condvar_passes(self):
+        self.tree.write("src/serve/queue.hh", """\
+#include "common/thread_annotations.hh"
+class Queue
+{
+    exma::Mutex mtx_;
+    exma::CondVar cv_;
+    void drain() { exma::MutexLock lock(mtx_); cv_.wait(lock); }
+};
+""")
+        self.assertEqual(self.rules("mutex-annotations"), [])
+
     def test_exma_mutex_and_exempt_header_pass(self):
         self.tree.write("src/common/thread_annotations.hh", """\
 #include <mutex>
@@ -340,6 +368,61 @@ TEST(Fmt, X)
                          [("ondisk-pod-assert", rel)])
 
 
+class AnalyzeAllowReasonTest(LintTestCase):
+
+    def test_reasonless_allow_is_flagged(self):
+        rel = self.tree.write("src/core/muted.cc", """\
+// analyze: allow(lock-order)
+void f();
+""")
+        findings = self.rules("analyze-allow-reason")
+        self.assertEqual(self.rule_ids(findings),
+                         [("analyze-allow-reason", rel)])
+        self.assertIn("no reason", findings[0].message)
+
+    def test_unknown_pass_is_flagged(self):
+        rel = self.tree.write("src/core/typo.cc", """\
+// analyze: allow(lock-ordering, the pass name is wrong)
+void f();
+""")
+        findings = self.rules("analyze-allow-reason")
+        self.assertEqual(self.rule_ids(findings),
+                         [("analyze-allow-reason", rel)])
+        self.assertIn("unknown", findings[0].message)
+
+    def test_reasoned_allow_passes_and_tests_in_scope(self):
+        self.tree.write("src/core/ok.cc", """\
+// analyze: allow(ondisk-abi, scratch file, never persisted)
+void f();
+""")
+        self.assertEqual(self.rules("analyze-allow-reason"), [])
+        rel = self.tree.write("tests/static/muted.cc",
+                              "/* analyze: allow(layering) */\n")
+        findings = self.rules("analyze-allow-reason")
+        self.assertEqual(self.rule_ids(findings),
+                         [("analyze-allow-reason", rel)])
+
+    def test_regex_agrees_with_analyzer(self):
+        # The linter's regex must keep accepting what the analyzer's
+        # suppression scanner accepts (tools/analyze/cxxparse.py).
+        sys.path.insert(0, os.path.join(HERE, os.pardir, "analyze"))
+        try:
+            import cxxparse
+        finally:
+            sys.path.pop(0)
+        text = "// analyze: allow(lock-order, dual-locked on purpose)\n"
+        sup = cxxparse.scan_suppressions(text)
+        m = exma_lint.ANALYZE_ALLOW_RE.search(text)
+        self.assertEqual(sup[1], [(m.group(1), m.group(2))])
+        sys.path.insert(0, os.path.join(HERE, os.pardir, "analyze"))
+        try:
+            import exma_analyze
+        finally:
+            sys.path.pop(0)
+        self.assertEqual(exma_lint.ANALYZE_PASSES,
+                         tuple(sorted(exma_analyze.PASSES)))
+
+
 class StripperTest(LintTestCase):
 
     def test_stripping_preserves_line_numbers(self):
@@ -386,6 +469,18 @@ class CliTest(LintTestCase):
         proc = self.run_cli("--root", self.tree.root,
                             "--rule", "bench-json")
         self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_json_output_mirrors_findings(self):
+        self.tree.write("src/core/bad.cc", "void f() { assert(1); }\n")
+        out = os.path.join(self.tree.root, "lint.json")
+        proc = self.run_cli("--root", self.tree.root, "--json", out)
+        self.assertEqual(proc.returncode, 1)
+        with open(out, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        self.assertEqual(len(payload["findings"]), 1)
+        self.assertEqual(payload["findings"][0]["rule"], "bare-assert")
+        self.assertEqual(payload["findings"][0]["line"], 1)
+        self.assertIn("bare-assert", payload["rules"])
 
     def test_real_repo_is_clean(self):
         # The tree this file ships in must satisfy its own linter
