@@ -21,7 +21,7 @@
 #include "fmindex/suffix_array.hh"
 #include "genome/reference.hh"
 #include "io/format.hh"
-#include "io/index_io.hh"
+#include "persist/index_io.hh"
 
 namespace {
 

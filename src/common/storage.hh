@@ -11,7 +11,7 @@
  * physical page-cache copy of the arrays.
  *
  * Borrowed storage never outlives its mapping: the io::Loaded* wrappers
- * (src/io/index_io.hh) keep the MappedFile alive next to the structures
+ * (src/persist/index_io.hh) keep the MappedFile alive next to the structures
  * viewing it. Structures themselves do not know (or care) which backing
  * they run on — reads go through the same span either way.
  */

@@ -5,7 +5,7 @@
  *
  * A loaded index keeps its hot arrays borrowed (common/storage.hh)
  * from these mappings, so the MappedFile must outlive the structures
- * viewing it — the Loaded* wrappers in io/index_io.hh hold both. The
+ * viewing it — the Loaded* wrappers in io/table_io.hh hold both. The
  * mapping is MAP_SHARED of a read-only fd: N processes loading the
  * same index share one physical page-cache copy of the arrays, the
  * paper's "table resident in memory" serving model without per-process

@@ -1,19 +1,16 @@
-#include "io/index_io.hh"
+#include "io/table_io.hh"
 
 #include <algorithm>
-#include <chrono>
-#include <filesystem>
 #include <utility>
 
 #include "common/logging.hh"
 #include "fault/fault_injector.hh"
 #include "fmindex/packed_rank.hh"
-#include "io/format.hh"
 #include "learned/rmi.hh"
 
 namespace exma {
 
-namespace {
+namespace io_detail {
 
 /**
  * Fault hook for the mmap load path (site "io.load"): a throw rule
@@ -45,48 +42,11 @@ probeLoadFaults(const std::string &path)
     }
 }
 
-// On-disk element-layout contracts (lint: ondisk-pod-assert). Any
-// change to one of these sizes is a format change: bump kFormatVersion.
-static_assert(sizeof(u8) == 1);
-static_assert(std::is_trivially_copyable_v<u8>);
-static_assert(sizeof(u32) == 4);
-static_assert(std::is_trivially_copyable_v<u32>);
-static_assert(sizeof(u64) == 8);
-static_assert(std::is_trivially_copyable_v<u64>);
-static_assert(sizeof(TextSegment) == 24);
-static_assert(std::is_trivially_copyable_v<TextSegment>);
-static_assert(sizeof(PackedRank::Block) == 32);
-static_assert(std::is_trivially_copyable_v<PackedRank::Block>);
-static_assert(sizeof(ClampedLeaf) == 32);
-static_assert(std::is_trivially_copyable_v<ClampedLeaf>);
-
-// Section tags. Per-file namespaces; a tag's meaning never changes
-// within a format version.
-constexpr u32 kPacMeta = 1;     ///< config echo + text geometry blob
-constexpr u32 kPacSegments = 2; ///< TextSegment[]
-constexpr u32 kPacText = 3;     ///< 2-bit packed local text, u64[]
-
-constexpr u32 kOccMeta = 1;      ///< k/rows/sentinels blob
-constexpr u32 kOccBases = 2;     ///< base pointers, u32[4^k + 1]
-constexpr u32 kOccRows = 3;      ///< concatenated increments, u32[]
-constexpr u32 kOccModelMeta = 4; ///< learned-model blob (mode != Exact)
-constexpr u32 kOccMtlLeaves = 5; ///< ClampedLeaf[] (MTL only)
-
-constexpr u32 kSaMeta = 1;       ///< FM geometry blob
-constexpr u32 kSaRankBlocks = 2; ///< PackedRank::Block[]
-constexpr u32 kSaValues = 3;     ///< sampled SA values, u32[]
-constexpr u32 kSaBvWords = 4;    ///< sampled-row bit vector words, u64[]
-constexpr u32 kSaBvSuper = 5;    ///< bit vector rank checkpoints, u64[]
-
-constexpr u32 kManifestMeta = 1; ///< whole-index description blob
-
 void
 writeBlob(FileBuilder &fb, u32 tag, const BlobWriter &w)
 {
     fb.writeArray<u8>(tag, w.bytes());
 }
-
-// --- config echo --------------------------------------------------------
 
 void
 putTableConfig(BlobWriter &w, const ExmaTable::Config &cfg)
@@ -138,6 +98,55 @@ getTableConfig(BlobReader &r)
     cfg.fm.sa_sample = r.getU32();
     return cfg;
 }
+
+std::string
+shardStem(const std::string &dir, size_t i)
+{
+    std::string n = std::to_string(i);
+    if (n.size() < 4)
+        n.insert(0, 4 - n.size(), '0');
+    return dir + "/shard" + n;
+}
+
+} // namespace io_detail
+
+namespace {
+
+using io_detail::probeLoadFaults;
+using io_detail::writeBlob;
+
+// On-disk element-layout contracts (lint: ondisk-pod-assert). Any
+// change to one of these sizes is a format change: bump kFormatVersion.
+static_assert(sizeof(u8) == 1);
+static_assert(std::is_trivially_copyable_v<u8>);
+static_assert(sizeof(u32) == 4);
+static_assert(std::is_trivially_copyable_v<u32>);
+static_assert(sizeof(u64) == 8);
+static_assert(std::is_trivially_copyable_v<u64>);
+static_assert(sizeof(TextSegment) == 24);
+static_assert(std::is_trivially_copyable_v<TextSegment>);
+static_assert(sizeof(PackedRank::Block) == 32);
+static_assert(std::is_trivially_copyable_v<PackedRank::Block>);
+static_assert(sizeof(ClampedLeaf) == 32);
+static_assert(std::is_trivially_copyable_v<ClampedLeaf>);
+
+// Section tags. Per-file namespaces; a tag's meaning never changes
+// within a format version.
+constexpr u32 kPacMeta = 1;     ///< config echo + text geometry blob
+constexpr u32 kPacSegments = 2; ///< TextSegment[]
+constexpr u32 kPacText = 3;     ///< 2-bit packed local text, u64[]
+
+constexpr u32 kOccMeta = 1;      ///< k/rows/sentinels blob
+constexpr u32 kOccBases = 2;     ///< base pointers, u32[4^k + 1]
+constexpr u32 kOccRows = 3;      ///< concatenated increments, u32[]
+constexpr u32 kOccModelMeta = 4; ///< learned-model blob (mode != Exact)
+constexpr u32 kOccMtlLeaves = 5; ///< ClampedLeaf[] (MTL only)
+
+constexpr u32 kSaMeta = 1;       ///< FM geometry blob
+constexpr u32 kSaRankBlocks = 2; ///< PackedRank::Block[]
+constexpr u32 kSaValues = 3;     ///< sampled SA values, u32[]
+constexpr u32 kSaBvWords = 4;    ///< sampled-row bit vector words, u64[]
+constexpr u32 kSaBvSuper = 5;    ///< bit vector rank checkpoints, u64[]
 
 // --- learned models -----------------------------------------------------
 
@@ -341,123 +350,6 @@ unpackText(std::span<const u64> words, u64 n, const std::string &what)
     return text;
 }
 
-// --- shard plan ---------------------------------------------------------
-
-void
-putPlan(BlobWriter &w, const ShardPlan &plan)
-{
-    w.putU64(plan.size());
-    for (const Shard &s : plan.shards()) {
-        w.putString(s.name);
-        w.putU64(s.begin);
-        w.putU64(s.length);
-    }
-    w.putU32(static_cast<u32>(plan.kind()));
-    w.putU64(plan.refLength());
-    w.putU64(plan.overlap());
-    w.putU64(plan.maxQueryLen());
-    w.putI32(plan.prefixLen());
-    w.putU64(plan.prefixRanges().size());
-    for (const PrefixRange &r : plan.prefixRanges()) {
-        w.putU64(r.lo);
-        w.putU64(r.hi);
-    }
-    if (plan.kind() == ShardPlanKind::KmerPrefix) {
-        for (size_t s = 0; s < plan.size(); ++s) {
-            const auto &segs = plan.segmentsOf(s);
-            w.putU64(segs.size());
-            for (const TextSegment &seg : segs) {
-                w.putU64(seg.global_begin);
-                w.putU64(seg.local_begin);
-                w.putU64(seg.length);
-            }
-        }
-    }
-}
-
-ShardPlan
-getPlan(BlobReader &r)
-{
-    const u64 n_shards = r.getU64();
-    std::vector<Shard> shards(n_shards);
-    for (Shard &s : shards) {
-        s.name = r.getString();
-        s.begin = r.getU64();
-        s.length = r.getU64();
-    }
-    const u32 kind_raw = r.getU32();
-    if (kind_raw > static_cast<u32>(ShardPlanKind::KmerPrefix))
-        throw LoadError(r.context() + ": unknown shard-plan kind " +
-                        std::to_string(kind_raw));
-    const auto kind = static_cast<ShardPlanKind>(kind_raw);
-    const u64 ref_len = r.getU64();
-    const u64 overlap = r.getU64();
-    const u64 max_query_len = r.getU64();
-    const int prefix_len = r.getI32();
-    const u64 n_ranges = r.getU64();
-    std::vector<PrefixRange> ranges(n_ranges);
-    for (PrefixRange &pr : ranges) {
-        pr.lo = r.getU64();
-        pr.hi = r.getU64();
-    }
-    std::vector<std::vector<TextSegment>> segments;
-    if (kind == ShardPlanKind::KmerPrefix) {
-        segments.resize(n_shards);
-        for (auto &segs : segments) {
-            segs.resize(r.getU64());
-            for (TextSegment &seg : segs) {
-                seg.global_begin = r.getU64();
-                seg.local_begin = r.getU64();
-                seg.length = r.getU64();
-            }
-        }
-    }
-    return ShardPlan::restore(std::move(shards), kind, ref_len, overlap,
-                              max_query_len, prefix_len,
-                              std::move(ranges), std::move(segments));
-}
-
-// --- helpers ------------------------------------------------------------
-
-std::string
-shardStem(const std::string &dir, size_t i)
-{
-    std::string n = std::to_string(i);
-    if (n.size() < 4)
-        n.insert(0, 4 - n.size(), '0');
-    return dir + "/shard" + n;
-}
-
-void
-saveManifest(const std::string &dir, const BlobWriter &w)
-{
-    std::filesystem::create_directories(dir);
-    FileBuilder fb(kMagicManifest);
-    writeBlob(fb, kManifestMeta, w);
-    fb.save(dir + "/" + kManifestName);
-}
-
-/** Per-shard worker state bytes in a routed manifest. */
-constexpr u32 kShardEmpty = 0;
-constexpr u32 kShardScan = 1;
-constexpr u32 kShardTable = 2;
-
-/** The per-shard segment maps the building ShardRouter derives. */
-std::vector<std::vector<TextSegment>>
-routerSegments(const ShardPlan &plan)
-{
-    std::vector<std::vector<TextSegment>> segments(plan.size());
-    for (size_t s = 0; s < plan.size(); ++s) {
-        if (plan.kind() == ShardPlanKind::KmerPrefix) {
-            segments[s] = plan.segmentsOf(s);
-        } else {
-            const Shard &sh = plan.shards()[s];
-            segments[s] = {TextSegment{sh.begin, 0, sh.length}};
-        }
-    }
-    return segments;
-}
-
 } // namespace
 
 // --- single-table companion files ---------------------------------------
@@ -474,7 +366,7 @@ saveTableFiles(const ExmaTable &table, const std::string &stem,
     { // .exma.pac
         FileBuilder fb(kMagicPac);
         BlobWriter w;
-        putTableConfig(w, table.config());
+        io_detail::putTableConfig(w, table.config());
         w.putU64(local_len);
         w.putU32(local_text.empty() ? 0 : 1);
         writeBlob(fb, kPacMeta, w);
@@ -546,7 +438,7 @@ saveScanFiles(std::span<const Base> local_text,
                 (unsigned long long)segmentsLocalLength(segments));
     FileBuilder fb(kMagicPac);
     BlobWriter w;
-    putTableConfig(w, ExmaTable::Config{}); // scan shards have no table
+    io_detail::putTableConfig(w, ExmaTable::Config{}); // no table here
     w.putU64(local_text.size());
     w.putU32(1);
     writeBlob(fb, kPacMeta, w);
@@ -574,7 +466,7 @@ loadTableFiles(const std::string &stem)
     { // .exma.pac: config echo + segment map
         const std::vector<u8> blob = pac.readBlob(kPacMeta);
         BlobReader r(blob, stem + kExtPac);
-        parts.cfg = getTableConfig(r);
+        parts.cfg = io_detail::getTableConfig(r);
         r.getU64(); // local text length (tooling)
         r.getU32(); // has-text flag
         r.finish();
@@ -658,7 +550,7 @@ loadScanFiles(const std::string &stem)
     const FileView pac(file, kMagicPac);
     const std::vector<u8> blob = pac.readBlob(kPacMeta);
     BlobReader r(blob, stem + kExtPac);
-    getTableConfig(r); // config echo, unused for scan shards
+    io_detail::getTableConfig(r); // config echo, unused for scan shards
     const u64 local_len = r.getU64();
     const u32 has_text = r.getU32();
     r.finish();
@@ -676,171 +568,6 @@ loadScanFiles(const std::string &stem)
     if (out.text.size() != segmentsLocalLength(out.segments))
         throw LoadError(stem + kExtPac +
                         ": text echo disagrees with the segment map");
-    return out;
-}
-
-// --- whole-index directories --------------------------------------------
-
-void
-saveIndex(const ExmaTable &table, std::span<const Base> local_text,
-          const std::string &dir)
-{
-    BlobWriter w;
-    w.putU32(static_cast<u32>(IndexKind::Mono));
-    saveManifest(dir, w);
-    saveTableFiles(table, dir + "/table", local_text);
-}
-
-void
-saveIndex(const ShardedExmaTable &sharded, const std::string &dir)
-{
-    BlobWriter w;
-    w.putU32(static_cast<u32>(IndexKind::ShardedText));
-    putTableConfig(w, sharded.config().table);
-    w.putU32(sharded.config().build_threads);
-    putPlan(w, sharded.plan());
-    saveManifest(dir, w);
-    for (size_t s = 0; s < sharded.shardCount(); ++s)
-        saveTableFiles(sharded.table(s), shardStem(dir, s));
-}
-
-void
-saveIndex(const ShardRouter &router, const std::string &dir)
-{
-    const ShardPlan &plan = router.plan();
-    BlobWriter w;
-    w.putU32(static_cast<u32>(IndexKind::Routed));
-    putTableConfig(w, router.config().table);
-    w.putU32(router.config().build_threads);
-    w.putU32(router.config().force_broadcast ? 1 : 0);
-    w.putU64(router.config().min_table_bases);
-    putPlan(w, plan);
-    w.putU64(plan.size());
-    for (size_t s = 0; s < plan.size(); ++s) {
-        const u32 state = router.shardTable(s) != nullptr ? kShardTable
-                          : !router.shardScanRef(s).empty() ? kShardScan
-                                                            : kShardEmpty;
-        w.putU32(state);
-    }
-    saveManifest(dir, w);
-    for (size_t s = 0; s < plan.size(); ++s) {
-        if (router.shardTable(s) != nullptr)
-            saveTableFiles(*router.shardTable(s), shardStem(dir, s));
-        else if (!router.shardScanRef(s).empty())
-            saveScanFiles(router.shardScanRef(s),
-                          router.shardSegments(s), shardStem(dir, s));
-    }
-}
-
-LoadedIndex
-loadIndex(const std::string &dir)
-{
-    installFaultInjectorFromEnvOnce();
-    const auto t0 = std::chrono::steady_clock::now();
-    LoadedIndex out;
-
-    const std::string manifest_path = dir + "/" + kManifestName;
-    probeLoadFaults(manifest_path);
-    const MappedFile manifest(manifest_path);
-    const FileView view(manifest, kMagicManifest);
-    const std::vector<u8> blob = view.readBlob(kManifestMeta);
-    BlobReader r(blob, manifest_path);
-
-    const u32 kind_raw = r.getU32();
-    if (kind_raw > static_cast<u32>(IndexKind::Routed))
-        throw LoadError(manifest_path + ": unknown index kind " +
-                        std::to_string(kind_raw));
-    out.kind = static_cast<IndexKind>(kind_raw);
-
-    switch (out.kind) {
-    case IndexKind::Mono: {
-        r.finish();
-        LoadedExmaTable t = loadTableFiles(dir + "/table");
-        out.files = std::move(t.files);
-        out.table = std::move(t.table);
-        break;
-    }
-    case IndexKind::ShardedText: {
-        ShardedExmaTable::Config cfg;
-        cfg.table = getTableConfig(r);
-        cfg.build_threads = r.getU32();
-        ShardPlan plan = getPlan(r);
-        r.finish();
-        std::vector<std::unique_ptr<ExmaTable>> tables;
-        tables.reserve(plan.size());
-        for (size_t s = 0; s < plan.size(); ++s) {
-            LoadedExmaTable t = loadTableFiles(shardStem(dir, s));
-            for (MappedFile &f : t.files)
-                out.files.push_back(std::move(f));
-            tables.push_back(std::move(t.table));
-        }
-        // load_seconds is stamped below; buildSeconds() reports the
-        // pre-adoption wall clock, which is what the benches record.
-        const auto t1 = std::chrono::steady_clock::now();
-        out.sharded = std::make_unique<ShardedExmaTable>(
-            std::move(plan), cfg, std::move(tables),
-            std::chrono::duration<double>(t1 - t0).count());
-        break;
-    }
-    case IndexKind::Routed: {
-        RouterConfig cfg;
-        cfg.table = getTableConfig(r);
-        cfg.build_threads = r.getU32();
-        cfg.force_broadcast = r.getU32() != 0;
-        cfg.min_table_bases = r.getU64();
-        ShardPlan plan = getPlan(r);
-        const u64 n_states = r.getU64();
-        if (n_states != plan.size())
-            throw LoadError(manifest_path + ": " +
-                            std::to_string(n_states) +
-                            " shard states for a " +
-                            std::to_string(plan.size()) + "-shard plan");
-        std::vector<u32> states(n_states);
-        for (u32 &s : states)
-            s = r.getU32();
-        r.finish();
-
-        std::vector<std::vector<TextSegment>> segments =
-            routerSegments(plan);
-        std::vector<std::unique_ptr<ExmaTable>> tables(plan.size());
-        std::vector<std::vector<Base>> scan_refs(plan.size());
-        for (size_t s = 0; s < plan.size(); ++s) {
-            switch (states[s]) {
-            case kShardEmpty:
-                break;
-            case kShardScan: {
-                LoadedScanShard scan = loadScanFiles(shardStem(dir, s));
-                if (scan.segments != segments[s])
-                    throw LoadError(shardStem(dir, s) + kExtPac +
-                                    ": segment map disagrees with the "
-                                    "manifest's plan");
-                scan_refs[s] = std::move(scan.text);
-                break;
-            }
-            case kShardTable: {
-                LoadedExmaTable t = loadTableFiles(shardStem(dir, s));
-                for (MappedFile &f : t.files)
-                    out.files.push_back(std::move(f));
-                tables[s] = std::move(t.table);
-                break;
-            }
-            default:
-                throw LoadError(manifest_path + ": unknown shard state " +
-                                std::to_string(states[s]));
-            }
-        }
-        const auto t1 = std::chrono::steady_clock::now();
-        out.router = std::make_unique<ShardRouter>(
-            std::move(plan), cfg, std::move(segments), std::move(tables),
-            std::move(scan_refs),
-            std::chrono::duration<double>(t1 - t0).count());
-        break;
-    }
-    }
-
-    const auto t_end = std::chrono::steady_clock::now();
-    out.load_seconds =
-        std::chrono::duration<double>(t_end - t0).count();
     return out;
 }
 

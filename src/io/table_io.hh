@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Save / load of single tables through the `.exma.*` companion-file
+ * format (io/format.hh).
+ *
+ * One table is three files at a stem:
+ *
+ *   stem.exma.pac   table config echo, segment map, optional 2-bit text
+ *   stem.exma.occ   EXMA table: base pointers, increments, sentinels,
+ *                   and the trained learned-index model (MTL or naive)
+ *   stem.exma.sa    FM-index: packed-rank blocks, SA samples, sampled-
+ *                   row bit vector
+ *
+ * Loading mmaps the files read-only and points the restored
+ * structures' hot arrays straight into the mappings
+ * (common/storage.hh), so the Loaded* wrappers hold the MappedFiles
+ * alongside the structures and must stay alive as long as the table
+ * serves. Models are restored from their trained weights — nothing is
+ * retrained, so a loaded table answers bit-identically to the one
+ * that was saved.
+ *
+ * Whole-index directories (manifest + per-shard files) are one layer
+ * up, in persist/index_io.hh — that layer knows about shard plans and
+ * routers; this one stops at a single table so the io module stays
+ * below route/shard in the layering DAG (the exma-worker child loads
+ * its shard through exactly this seam).
+ */
+
+#ifndef EXMA_IO_TABLE_IO_HH
+#define EXMA_IO_TABLE_IO_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/exma_table.hh"
+#include "io/format.hh"
+#include "io/mapped_file.hh"
+
+namespace exma {
+
+/**
+ * Write @p table as stem.exma.{pac,occ,sa}. @p local_text is the text
+ * the table was built over (the segment extraction for segment-mapped
+ * tables, the whole reference otherwise); pass empty to omit the text
+ * echo — every table load works without it, it exists for tooling.
+ */
+void saveTableFiles(const ExmaTable &table, const std::string &stem,
+                    std::span<const Base> local_text = {});
+
+/**
+ * Write a table-less scan shard as stem.exma.pac only: its segment map
+ * plus the extracted local text the worker scans.
+ */
+void saveScanFiles(std::span<const Base> local_text,
+                   const std::vector<TextSegment> &segments,
+                   const std::string &stem);
+
+/** A loaded table plus the mappings its hot arrays are borrowed from. */
+struct LoadedExmaTable
+{
+    /** Declared before the table so the table is destroyed first. */
+    std::vector<MappedFile> files;
+    std::unique_ptr<ExmaTable> table;
+};
+
+/** Load stem.exma.{pac,occ,sa}; throws LoadError on any defect. */
+LoadedExmaTable loadTableFiles(const std::string &stem);
+
+/** Load a scan shard's stem.exma.pac: segment map + unpacked text. */
+struct LoadedScanShard
+{
+    std::vector<TextSegment> segments;
+    std::vector<Base> text;
+};
+LoadedScanShard loadScanFiles(const std::string &stem);
+
+/**
+ * Shared plumbing between this layer and persist/index_io.cc — not a
+ * public API. The manifest layer reuses the same config echo, blob
+ * framing, shard-stem naming and load-fault hook so one format
+ * version covers every file in an index directory.
+ */
+namespace io_detail {
+
+/** Fault hook for the mmap load path (site "io.load"). */
+void probeLoadFaults(const std::string &path);
+
+/** Write @p w's bytes as section @p tag. */
+void writeBlob(FileBuilder &fb, u32 tag, const BlobWriter &w);
+
+/** Serialize / restore an ExmaTable::Config echo. */
+void putTableConfig(BlobWriter &w, const ExmaTable::Config &cfg);
+ExmaTable::Config getTableConfig(BlobReader &r);
+
+/** dir + "/shardNNNN" (4-digit, zero-padded). */
+std::string shardStem(const std::string &dir, size_t i);
+
+} // namespace io_detail
+
+} // namespace exma
+
+#endif // EXMA_IO_TABLE_IO_HH

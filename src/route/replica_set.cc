@@ -7,14 +7,14 @@
 
 namespace exma {
 
-ReplicaSet::ReplicaSet(std::string shard_name, const ExmaTable *table,
-                       const std::vector<Base> *scan_ref,
-                       const std::vector<TextSegment> *segments,
+ReplicaSet::ReplicaSet(std::string shard_name, TransportFactory factory,
                        unsigned replicas)
-    : shard_name_(std::move(shard_name)), table_(table),
-      scan_ref_(scan_ref), segments_(segments),
+    : shard_name_(std::move(shard_name)), factory_(std::move(factory)),
       replica_count_(replicas == 0 ? 1 : replicas)
 {
+    exma_assert(factory_ != nullptr,
+                "replica set '%s' needs a transport factory",
+                shard_name_.c_str());
     MutexLock lock(mtx_);
     replicas_.reserve(replica_count_);
     health_.resize(replica_count_);
@@ -23,16 +23,18 @@ ReplicaSet::ReplicaSet(std::string shard_name, const ExmaTable *table,
         replicas_.push_back(spawnLocked(i));
         health_[i] = {0, now};
     }
+    // Shard-state flags are a property of the shared shard state, not
+    // of any one incarnation, so the first spawn's answer stands.
+    has_table_ = replicas_[0]->hasTable();
+    is_empty_ = replicas_[0]->isEmpty();
 }
 
-std::shared_ptr<ShardWorker>
+std::shared_ptr<Transport>
 ReplicaSet::spawnLocked(unsigned i)
 {
     // Stable name: respawns keep the fault-injection site (and its hit
     // counters) of the incarnation they replace.
-    return std::make_shared<ShardWorker>(
-        shard_name_ + "/r" + std::to_string(i), table_, scan_ref_,
-        segments_);
+    return factory_(shard_name_ + "/r" + std::to_string(i));
 }
 
 u64
@@ -46,13 +48,13 @@ ReplicaSet::draw(u64 n)
            n;
 }
 
-std::shared_ptr<ShardWorker>
+std::shared_ptr<Transport>
 ReplicaSet::pick()
 {
     // Declared before the lock: dead incarnations retired by the
     // revive below destruct (and join their threads) only after the
     // lock releases at return.
-    std::vector<std::shared_ptr<ShardWorker>> retired;
+    std::vector<std::shared_ptr<Transport>> retired;
     MutexLock lock(mtx_);
     std::vector<unsigned> live;
     live.reserve(replica_count_);
@@ -77,8 +79,8 @@ ReplicaSet::pick()
     return wa->inboxDepth() <= wb->inboxDepth() ? wa : wb;
 }
 
-std::shared_ptr<ShardWorker>
-ReplicaSet::pickOther(const ShardWorker *not_this)
+std::shared_ptr<Transport>
+ReplicaSet::pickOther(const Transport *not_this)
 {
     {
         MutexLock lock(mtx_);
@@ -95,7 +97,7 @@ ReplicaSet::pickOther(const ShardWorker *not_this)
     return pick();
 }
 
-std::shared_ptr<ShardWorker>
+std::shared_ptr<Transport>
 ReplicaSet::replica(unsigned i) const
 {
     MutexLock lock(mtx_);
@@ -109,13 +111,13 @@ ReplicaSet::killReplica(unsigned i)
 {
     // Snapshot under the lock, kill outside it: kill() resolves queued
     // promises, and promise continuations must not run under mtx_.
-    std::shared_ptr<ShardWorker> w = replica(i);
+    std::shared_ptr<Transport> w = replica(i);
     w->kill();
 }
 
 u64
 ReplicaSet::reviveDeadLocked(
-    std::vector<std::shared_ptr<ShardWorker>> &retired)
+    std::vector<std::shared_ptr<Transport>> &retired)
 {
     u64 revived = 0;
     for (unsigned i = 0; i < replica_count_; ++i) {
@@ -124,9 +126,9 @@ ReplicaSet::reviveDeadLocked(
         retired_processed_.fetch_add(replicas_[i]->processed(),
                                      std::memory_order_relaxed);
         // Move the dead incarnation out instead of dropping it here:
-        // the last shared_ptr runs ~ShardWorker, which joins the
-        // worker thread, and that join must happen after the caller
-        // releases mtx_.
+        // the last shared_ptr runs the transport's destructor, which
+        // joins the serving thread, and that join must happen after
+        // the caller releases mtx_.
         retired.push_back(std::move(replicas_[i]));
         replicas_[i] = spawnLocked(i);
         health_[i] = {0, std::chrono::steady_clock::now()};
@@ -139,7 +141,7 @@ ReplicaSet::reviveDeadLocked(
 u64
 ReplicaSet::reviveDead()
 {
-    std::vector<std::shared_ptr<ShardWorker>> retired;
+    std::vector<std::shared_ptr<Transport>> retired;
     MutexLock lock(mtx_);
     return reviveDeadLocked(retired);
 }
@@ -148,7 +150,7 @@ u64
 ReplicaSet::superviseOnce(u64 hang_timeout_ms)
 {
     const auto now = std::chrono::steady_clock::now();
-    std::vector<std::shared_ptr<ShardWorker>> hung;
+    std::vector<std::shared_ptr<Transport>> hung;
     {
         MutexLock lock(mtx_);
         for (unsigned i = 0; i < replica_count_; ++i) {
@@ -174,7 +176,7 @@ ReplicaSet::superviseOnce(u64 hang_timeout_ms)
                   static_cast<unsigned long long>(hang_timeout_ms));
         w->kill();
     }
-    std::vector<std::shared_ptr<ShardWorker>> retired;
+    std::vector<std::shared_ptr<Transport>> retired;
     MutexLock lock(mtx_);
     return reviveDeadLocked(retired);
 }

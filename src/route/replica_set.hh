@@ -1,11 +1,16 @@
 /**
  * @file
- * R-way replication of one shard: a ReplicaSet owns R ShardWorkers
+ * R-way replication of one shard: a ReplicaSet owns R transports
  * serving the same prefix range off the same immutable shard state
  * (table / scan reference / segment map — mmap-backed when the index
  * was loaded, so a respawn is pointer reuse, not a rebuild; the
  * software analogue of the paper's per-channel redundancy the hardware
  * never needed).
+ *
+ * The set is transport-agnostic: it spawns replicas through a
+ * TransportFactory, so the same routing/supervision machinery drives
+ * in-process ShardWorkers and out-of-process SocketTransports — a
+ * respawn of the latter is a real fork/exec of a fresh worker process.
  *
  * Routing is power-of-two-choices by inbox depth: pick() samples two
  * live replicas and returns the shallower one, which keeps hot-prefix
@@ -25,25 +30,33 @@
 #define EXMA_ROUTE_REPLICA_SET_HH
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/thread_annotations.hh"
-#include "route/shard_worker.hh"
+#include "transport/transport.hh"
 
 namespace exma {
+
+/**
+ * Spawns one replica transport given its stable name
+ * ("<shard>/r<i>"). Called under the set's lock, so it must not
+ * block on the set itself; spawning a child process is fine.
+ */
+using TransportFactory =
+    std::function<std::shared_ptr<Transport>(const std::string &name)>;
 
 class ReplicaSet
 {
   public:
     /**
-     * Spawns @p replicas workers named "<shard_name>/r<i>" over the
-     * shared shard state (same nullability contract as ShardWorker).
+     * Spawns @p replicas transports named "<shard_name>/r<i>" via
+     * @p factory over shared shard state the factory closes over.
      */
-    ReplicaSet(std::string shard_name, const ExmaTable *table,
-               const std::vector<Base> *scan_ref,
-               const std::vector<TextSegment> *segments, unsigned replicas);
+    ReplicaSet(std::string shard_name, TransportFactory factory,
+               unsigned replicas);
 
     ReplicaSet(const ReplicaSet &) = delete;
     ReplicaSet &operator=(const ReplicaSet &) = delete;
@@ -54,17 +67,17 @@ class ReplicaSet
     /**
      * Power-of-two-choices: sample two live replicas, return the one
      * with the shallower inbox. Falls back to reviving a dead replica
-     * inline when none is live — pick() always returns a worker that
-     * was live at selection time.
+     * inline when none is live — pick() always returns a transport
+     * that was live at selection time.
      */
-    std::shared_ptr<ShardWorker> pick();
+    std::shared_ptr<Transport> pick();
 
     /** pick(), but avoiding @p not_this (for retries and hedges) when
      *  any other live replica exists. */
-    std::shared_ptr<ShardWorker> pickOther(const ShardWorker *not_this);
+    std::shared_ptr<Transport> pickOther(const Transport *not_this);
 
     /** Snapshot of replica @p i (present even when dead). */
-    std::shared_ptr<ShardWorker> replica(unsigned i) const;
+    std::shared_ptr<Transport> replica(unsigned i) const;
 
     /** Crash switch for tests, benches, and the kill-loop soak. */
     void killReplica(unsigned i);
@@ -86,8 +99,8 @@ class ReplicaSet
     }
 
     /** @{ Shard-state views, uniform across replicas. */
-    bool hasTable() const { return table_ != nullptr; }
-    bool isEmpty() const { return table_ == nullptr && scan_ref_ == nullptr; }
+    bool hasTable() const { return has_table_; }
+    bool isEmpty() const { return is_empty_; }
     /** @} */
 
     /** Requests served across all replicas, dead incarnations
@@ -95,26 +108,27 @@ class ReplicaSet
     u64 processedTotal() const;
 
   private:
-    std::shared_ptr<ShardWorker> spawnLocked(unsigned i)
+    std::shared_ptr<Transport> spawnLocked(unsigned i)
         EXMA_REQUIRES(mtx_);
     /**
      * Respawn every dead replica, moving the dead incarnations into
-     * @p retired instead of destroying them: ~ShardWorker joins the
-     * worker thread, and a join must never run under mtx_ (the
-     * blocked-under-lock analyzer's rule). Callers declare `retired`
-     * *before* their MutexLock so the retirees destruct after the
-     * lock releases.
+     * @p retired instead of destroying them: a transport's destructor
+     * joins its serving thread (and reaps its child process), and a
+     * join must never run under mtx_ (the blocked-under-lock
+     * analyzer's rule). Callers declare `retired` *before* their
+     * MutexLock so the retirees destruct after the lock releases.
      */
-    u64 reviveDeadLocked(std::vector<std::shared_ptr<ShardWorker>> &retired)
+    u64 reviveDeadLocked(std::vector<std::shared_ptr<Transport>> &retired)
         EXMA_REQUIRES(mtx_);
     /** Uniform index in [0, n) off the lock-free pick sequence. */
     u64 draw(u64 n);
 
     const std::string shard_name_;
-    const ExmaTable *table_;
-    const std::vector<Base> *scan_ref_;
-    const std::vector<TextSegment> *segments_;
+    const TransportFactory factory_;
     const unsigned replica_count_;
+    /** Shard-state flags, captured from the first spawn (uniform). */
+    bool has_table_ = false;
+    bool is_empty_ = false;
 
     /** Per-replica heartbeat watermark for hang detection. */
     struct Health
@@ -124,7 +138,7 @@ class ReplicaSet
     };
 
     mutable Mutex mtx_;
-    std::vector<std::shared_ptr<ShardWorker>> replicas_
+    std::vector<std::shared_ptr<Transport>> replicas_
         EXMA_GUARDED_BY(mtx_);
     std::vector<Health> health_ EXMA_GUARDED_BY(mtx_);
     std::atomic<u64> respawns_{0};

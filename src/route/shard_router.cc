@@ -1,12 +1,22 @@
 #include "route/shard_router.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
+#include <string_view>
 #include <thread>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "fault/fault_injector.hh"
+#include "io/table_io.hh"
+#include "transport/shard_worker.hh"
+#include "transport/socket_transport.hh"
 
 namespace exma {
 
@@ -34,11 +44,29 @@ checkQueries(const ShardPlan &plan,
     }
 }
 
+TransportKind
+resolveTransportKind(TransportKind kind)
+{
+    if (kind != TransportKind::Auto)
+        return kind;
+    const char *env = std::getenv("EXMA_TRANSPORT");
+    if (env == nullptr || *env == '\0')
+        return TransportKind::InProcess;
+    const std::string_view v(env);
+    if (v == "socket")
+        return TransportKind::Socket;
+    if (v != "inproc")
+        exma_warn("EXMA_TRANSPORT='%s' is not 'socket' or 'inproc' — "
+                  "serving in-process",
+                  env);
+    return TransportKind::InProcess;
+}
+
 /** One submission of a shard call to a specific replica. */
 struct Attempt
 {
-    std::shared_ptr<ShardWorker> worker;
-    std::future<ShardWorker::Response> fut;
+    std::shared_ptr<Transport> worker;
+    std::future<WorkerResponse> fut;
 };
 
 /** One shard's slice of the batch, across however many attempts its
@@ -52,7 +80,7 @@ struct ShardCall
     bool hedged = false;
     bool done = false;
     bool failed = false; ///< done without a verified response
-    ShardWorker::Response resp; ///< the accepted response iff !failed
+    WorkerResponse resp; ///< the accepted response iff !failed
     Clock::time_point last_submit;
 };
 
@@ -157,14 +185,92 @@ ShardRouter::ShardRouter(ShardPlan plan, RouterConfig cfg,
     spawnReplicas();
 }
 
+ShardRouter::~ShardRouter()
+{
+    // Workers go first: socket children serve off mmaps of the shard
+    // files, so the directory outlives every child reap. (POSIX would
+    // keep removed-but-mapped files readable anyway; this just keeps
+    // the teardown order honest.)
+    supervisor_.reset();
+    sets_.clear();
+    if (!temp_dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(temp_dir_, ec);
+        if (ec)
+            exma_warn("router: failed to remove temp shard dir '%s': "
+                      "%s",
+                      temp_dir_.c_str(), ec.message().c_str());
+    }
+}
+
+void
+ShardRouter::prepareWorkerFiles()
+{
+    worker_binary_ = discoverWorkerBinary(cfg_.transport.worker_binary);
+    if (!cfg_.transport.worker_dir.empty()) {
+        // Shard files already on disk (a loaded index): the children
+        // mmap the very same files the router loaded from.
+        worker_dir_ = cfg_.transport.worker_dir;
+        return;
+    }
+    // Built in memory: save the shards once into an owned temp
+    // directory so children can mmap them; removed in the destructor.
+    static std::atomic<u64> dir_seq{0};
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("exma-shards-" +
+          std::to_string(static_cast<long long>(::getpid())) + "-" +
+          std::to_string(dir_seq.fetch_add(1))))
+            .string();
+    std::filesystem::create_directories(dir);
+    for (size_t s = 0; s < plan_.size(); ++s) {
+        if (tables_[s])
+            saveTableFiles(*tables_[s], io_detail::shardStem(dir, s));
+        else if (!scan_refs_[s].empty())
+            saveScanFiles(scan_refs_[s], segments_[s],
+                          io_detail::shardStem(dir, s));
+    }
+    worker_dir_ = dir;
+    temp_dir_ = dir;
+}
+
+TransportFactory
+ShardRouter::shardFactory(size_t s)
+{
+    if (transport_kind_ == TransportKind::InProcess) {
+        const ExmaTable *table = tables_[s].get();
+        const std::vector<Base> *scan =
+            scan_refs_[s].empty() ? nullptr : &scan_refs_[s];
+        const std::vector<TextSegment> *segs = &segments_[s];
+        return [table, scan,
+                segs](const std::string &name) -> std::shared_ptr<Transport> {
+            return std::make_shared<ShardWorker>(name, table, scan, segs);
+        };
+    }
+    const bool has_table = tables_[s] != nullptr;
+    const bool is_empty = !has_table && scan_refs_[s].empty();
+    SocketTransportConfig scfg;
+    scfg.binary = worker_binary_;
+    scfg.state = has_table ? "table" : is_empty ? "empty" : "scan";
+    if (!is_empty)
+        scfg.stem = io_detail::shardStem(worker_dir_, s);
+    return [scfg, has_table,
+            is_empty](const std::string &name) -> std::shared_ptr<Transport> {
+        return std::make_shared<SocketTransport>(name, scfg, has_table,
+                                                 is_empty);
+    };
+}
+
 void
 ShardRouter::spawnReplicas()
 {
+    transport_kind_ = resolveTransportKind(cfg_.transport.kind);
+    if (transport_kind_ == TransportKind::Socket)
+        prepareWorkerFiles();
     for (size_t s = 0; s < plan_.size(); ++s)
         sets_.push_back(std::make_unique<ReplicaSet>(
-            plan_.shards()[s].name, tables_[s].get(),
-            scan_refs_[s].empty() ? nullptr : &scan_refs_[s],
-            &segments_[s], cfg_.failover.replicas));
+            plan_.shards()[s].name, shardFactory(s),
+            cfg_.failover.replicas));
     if (cfg_.failover.supervisor_interval_ms > 0) {
         std::vector<ReplicaSet *> raw;
         raw.reserve(sets_.size());
@@ -243,8 +349,8 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
         respawns_before += set->respawns();
 
     // Fan out: every shard with work becomes one ShardCall submitted
-    // to a P2C-picked replica; the replicas' dedicated threads run
-    // concurrently.
+    // to a P2C-picked replica; the replicas' dedicated threads (or
+    // worker processes) run concurrently.
     std::vector<ShardCall> calls;
     calls.reserve(sets_.size());
     for (size_t s = 0; s < sets_.size(); ++s) {
@@ -256,9 +362,10 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
         calls.push_back(std::move(c));
     }
     const auto submitTo = [&queries, &cfg](ShardCall &c,
-                                           std::shared_ptr<ShardWorker> w) {
+                                           std::shared_ptr<Transport> w) {
         Attempt at;
-        at.fut = w->submit({&queries, c.ids, cfg});
+        at.fut =
+            w->submit({QueryBatchView::borrow(queries, c.ids), cfg});
         at.worker = std::move(w);
         c.attempts.push_back(std::move(at));
         c.last_submit = Clock::now();
@@ -295,23 +402,22 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
                 if (at.fut.wait_for(std::chrono::seconds(0)) !=
                     std::future_status::ready)
                     continue;
-                ShardWorker::Response r = at.fut.get();
+                WorkerResponse r = at.fut.get();
                 progressed = true;
-                if (r.ok() &&
-                    ShardWorker::responseCanary(r) == r.canary) {
+                if (r.ok() && responseCanary(r) == r.canary) {
                     c.resp = std::move(r);
                     c.done = true;
                     --open;
                     break;
                 }
                 switch (r.status) {
-                case ShardWorker::Status::WorkerDown:
+                case WorkerStatus::WorkerDown:
                     ++out.failover.worker_down;
                     break;
-                case ShardWorker::Status::Failed:
+                case WorkerStatus::Failed:
                     ++out.failover.failed;
                     break;
-                case ShardWorker::Status::Ok: // canary mismatch
+                case WorkerStatus::Ok: // canary mismatch
                     ++out.failover.corrupt;
                     break;
                 }
@@ -338,7 +444,7 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(backoff));
                 sets_[c.shard]->reviveDead();
-                const ShardWorker *last =
+                const Transport *last =
                     c.attempts.back().worker.get();
                 submitTo(c, sets_[c.shard]->pickOther(last));
                 progressed = true;
@@ -349,7 +455,7 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
                 // Straggler: duplicate on a second replica.
                 c.hedged = true;
                 ++out.failover.hedges;
-                const ShardWorker *primary =
+                const Transport *primary =
                     c.attempts.back().worker.get();
                 submitTo(c, sets_[c.shard]->pickOther(primary));
                 progressed = true;
@@ -409,7 +515,7 @@ ShardRouter::search(const std::vector<std::vector<Base>> &queries,
     for (ShardCall &c : calls) {
         if (c.failed)
             continue;
-        ShardWorker::Response &resp = c.resp;
+        WorkerResponse &resp = c.resp;
         out.per_shard[c.shard] = resp.stats;
         for (size_t j = 0; j < resp.ids.size(); ++j) {
             auto &dst = out.hits[resp.ids[j]];

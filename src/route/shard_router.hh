@@ -15,6 +15,14 @@
  * partition boundary fall back to a broadcast across the straddled
  * shards (their matches' owners all lie in that range).
  *
+ * Transports (RouterConfig::transport): each replica is either an
+ * in-process ShardWorker sharing the router's address space (the
+ * default, and the differential oracle) or a SocketTransport speaking
+ * the length-prefixed wire protocol to an out-of-process exma-worker
+ * that mmap-loads the same shard files — the paper's per-channel
+ * parallelism with real OS-level isolation. The two are
+ * bit-identical: same hits, same stats, same canary.
+ *
  * Fault tolerance (RouterConfig::failover): each prefix range is
  * served by an R-way ReplicaSet with power-of-two-choices routing, a
  * WorkerSupervisor respawns dead/hung replicas in the background, and
@@ -42,6 +50,7 @@
 #define EXMA_ROUTE_SHARD_ROUTER_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fault/failover_stats.hh"
@@ -87,6 +96,33 @@ struct FailoverConfig
     u64 hang_timeout_ms = 1000;
 };
 
+/** How replicas execute shard requests. */
+enum class TransportKind : u8
+{
+    /** EXMA_TRANSPORT env: "socket" → Socket, else InProcess. */
+    Auto = 0,
+    InProcess = 1, ///< ShardWorker threads in the router's process
+    Socket = 2,    ///< exma-worker child processes over Unix sockets
+};
+
+/** Out-of-process serving knobs (all ignored for InProcess). */
+struct TransportConfig
+{
+    TransportKind kind = TransportKind::Auto;
+    /**
+     * Directory already holding per-shard `shardNNNN.exma.*` files for
+     * workers to mmap-load (set by loadIndex on routed directories).
+     * Empty = the router saves its shards into a temp directory it
+     * owns for the workers' lifetime.
+     */
+    std::string worker_dir;
+    /**
+     * exma-worker binary; empty = $EXMA_WORKER_BIN, then the build
+     * tree next to the running binary, then $PATH.
+     */
+    std::string worker_binary;
+};
+
 struct RouterConfig
 {
     /** Per-shard table configuration (same k for every shard). */
@@ -105,6 +141,8 @@ struct RouterConfig
     u64 min_table_bases = ShardPlan::kMinShardBases;
     /** Replication / failover policy (see FailoverConfig). */
     FailoverConfig failover;
+    /** Replica execution: in-process threads or worker processes. */
+    TransportConfig transport;
 };
 
 /** Outcome of one routed batch: index-aligned with the input queries. */
@@ -161,8 +199,8 @@ class ShardRouter
                 const RouterConfig &cfg);
 
     /**
-     * Adopt pre-restored per-shard state (src/io/index_io.cc) instead
-     * of building: @p segments / @p tables / @p scan_refs are
+     * Adopt pre-restored per-shard state (src/persist/index_io.cc)
+     * instead of building: @p segments / @p tables / @p scan_refs are
      * index-parallel with @p plan's shards (a shard has a table, a
      * scan ref, or neither — matching what the building constructor
      * would have produced). Workers are spawned over the adopted
@@ -174,9 +212,16 @@ class ShardRouter
                 std::vector<std::vector<Base>> scan_refs,
                 double load_seconds);
 
+    /** Joins/reaps all replicas, then removes the owned temp shard
+     *  directory if socket workers needed one. */
+    ~ShardRouter();
+
     size_t shardCount() const { return sets_.size(); }
     const ShardPlan &plan() const { return plan_; }
     const RouterConfig &config() const { return cfg_; }
+
+    /** The transport kind replicas actually use (Auto resolved). */
+    TransportKind transportKind() const { return transport_kind_; }
 
     /**
      * Shard @p i's replica set. Non-const ref from a const router:
@@ -242,6 +287,11 @@ class ShardRouter
     /** Spawn the replica sets over segments_/tables_/scan_refs_, plus
      *  the supervisor when configured. */
     void spawnReplicas();
+    /** Factory for shard @p s's replicas under transport_kind_. */
+    TransportFactory shardFactory(size_t s);
+    /** Ensure shard files exist on disk for socket workers; sets
+     *  worker_dir_ (and temp_dir_ when the router saves them itself). */
+    void prepareWorkerFiles();
 
     ShardPlan plan_;
     RouterConfig cfg_;
@@ -250,6 +300,14 @@ class ShardRouter
     std::vector<std::vector<TextSegment>> segments_;
     std::vector<std::unique_ptr<ExmaTable>> tables_;
     std::vector<std::vector<Base>> scan_refs_;
+    TransportKind transport_kind_ = TransportKind::InProcess;
+    /** Directory socket workers load their shard files from. */
+    std::string worker_dir_;
+    /** Resolved exma-worker path (socket transport only). */
+    std::string worker_binary_;
+    /** Non-empty iff the router saved worker_dir_ itself and must
+     *  remove it on destruction. */
+    std::string temp_dir_;
     std::vector<std::unique_ptr<ReplicaSet>> sets_;
     /** Declared after sets_ so it stops sweeping before they die. */
     std::unique_ptr<WorkerSupervisor> supervisor_;

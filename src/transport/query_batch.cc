@@ -1,0 +1,48 @@
+#include "transport/query_batch.hh"
+
+#include <numeric>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace exma {
+
+QueryBatchView
+QueryBatchView::borrow(const std::vector<std::vector<Base>> &batch,
+                       std::vector<u32> ids)
+{
+    QueryBatchView v;
+    v.borrowed_ = &batch;
+    v.ids_ = std::move(ids);
+    for (const u32 id : v.ids_)
+        exma_assert(id < batch.size(),
+                    "query id %u outside the %zu-query batch",
+                    (unsigned)id, batch.size());
+    return v;
+}
+
+QueryBatchView
+QueryBatchView::own(std::vector<std::vector<Base>> queries,
+                    std::vector<u32> ids)
+{
+    QueryBatchView v;
+    v.owned_ = std::move(queries);
+    v.ids_ = std::move(ids);
+    exma_assert(v.owned_.size() == v.ids_.size(),
+                "owned batch carries %zu queries but %zu ids",
+                v.owned_.size(), v.ids_.size());
+    v.owned_ids_.resize(v.owned_.size());
+    std::iota(v.owned_ids_.begin(), v.owned_ids_.end(), u32{0});
+    return v;
+}
+
+u64
+QueryBatchView::totalBases() const
+{
+    u64 total = 0;
+    for (size_t j = 0; j < size(); ++j)
+        total += query(j).size();
+    return total;
+}
+
+} // namespace exma

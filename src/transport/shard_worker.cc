@@ -1,7 +1,5 @@
-#include "route/shard_worker.hh"
+#include "transport/shard_worker.hh"
 
-#include <algorithm>
-#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -12,27 +10,9 @@ namespace exma {
 ShardWorker::ShardWorker(std::string name, const ExmaTable *table,
                          const std::vector<Base> *scan_ref,
                          const std::vector<TextSegment> *segments)
-    : name_(std::move(name)), table_(table), scan_ref_(scan_ref),
-      segments_(segments)
+    : name_(std::move(name)), state_{table, scan_ref, segments}
 {
-    exma_assert(!(table_ && scan_ref_),
-                "worker '%s' got both a table and a scan reference",
-                name_.c_str());
-    if (table_)
-        exma_assert(table_->segmented(),
-                    "worker '%s' needs a segment-mapped table to "
-                    "translate hits into global coordinates",
-                    name_.c_str());
-    if (scan_ref_) {
-        exma_assert(segments_ && !segments_->empty(),
-                    "worker '%s' scans but has no segment map",
-                    name_.c_str());
-        exma_assert(scan_ref_->size() == segmentsLocalLength(*segments_),
-                    "worker '%s': scan reference holds %zu bases but "
-                    "the segment map covers %llu",
-                    name_.c_str(), scan_ref_->size(),
-                    (unsigned long long)segmentsLocalLength(*segments_));
-    }
+    validateShardState(name_, state_);
     thread_ = std::thread([this] { run(); });
 }
 
@@ -57,29 +37,9 @@ ShardWorker::~ShardWorker()
         resolveDown(p);
 }
 
-u64
-ShardWorker::responseCanary(const Response &r)
-{
-    u64 h = 14695981039346656037ULL; // FNV-1a offset basis
-    const auto mix = [&h](u64 v) {
-        h ^= v;
-        h *= 1099511628211ULL;
-    };
-    mix(r.ids.size());
-    for (const u32 id : r.ids)
-        mix(id);
-    for (const auto &hits : r.hits) {
-        mix(hits.size());
-        for (const u64 pos : hits)
-            mix(pos);
-    }
-    return h;
-}
-
 std::future<ShardWorker::Response>
 ShardWorker::submit(Request req)
 {
-    exma_assert(req.queries != nullptr, "request without a query batch");
     Pending p;
     p.req = std::move(req);
     std::future<Response> future = p.promise.get_future();
@@ -131,7 +91,7 @@ ShardWorker::resolveDown(Pending &p)
     Response r;
     r.status = Status::WorkerDown;
     r.error = "worker '" + name_ + "' down";
-    r.ids = p.req.ids;
+    r.ids = p.req.batch.ids();
     // Counters first, delivery last: a caller that observed the future
     // ready must see the post-request counter state.
     inbox_depth_.fetch_sub(1, std::memory_order_relaxed);
@@ -211,7 +171,7 @@ ShardWorker::serve(Pending p)
         out = Response{};
         out.status = Status::Failed;
         out.error = e.what();
-        out.ids = p.req.ids;
+        out.ids = p.req.batch.ids();
     }
 
     if (isDead()) {
@@ -249,63 +209,9 @@ ShardWorker::serve(Pending p)
 ShardWorker::Response
 ShardWorker::process(const Request &req)
 {
-    const auto t0 = std::chrono::steady_clock::now();
-    Response out;
-    out.ids = req.ids;
-
-    if (table_) {
-        BatchConfig cfg = req.cfg;
-        cfg.threads = 1; // the worker thread IS the execution lane
-        cfg.locate = true;
-        cfg.per_query_stats = false;
-        // Caps are the router's job, applied after the cross-shard
-        // merge; a per-shard cap would keep a shard-dependent subset.
-        cfg.locate_limit = 0;
-        // Chunk-granular liveness: the supervisor reads this to tell
-        // "slow batch" from "hung worker".
-        cfg.progress = [this] {
-            heartbeat_.fetch_add(1, std::memory_order_relaxed);
-        };
-        BatchResult br =
-            BatchSearcher(*table_, cfg).search(*req.queries, req.ids);
-        out.hits = std::move(br.positions);
-        out.stats = br.stats;
-    } else {
-        out.hits.resize(req.ids.size());
-        if (scan_ref_) {
-            for (size_t j = 0; j < req.ids.size(); ++j) {
-                scanQuery((*req.queries)[req.ids[j]], out.hits[j]);
-                heartbeat_.fetch_add(1, std::memory_order_relaxed);
-            }
-        }
-        // Empty shard: its prefix range has no occurrences, so no
-        // query routed here can match — every response is hitless.
-    }
-
-    const auto t1 = std::chrono::steady_clock::now();
-    out.seconds = std::chrono::duration<double>(t1 - t0).count();
-    return out;
-}
-
-void
-ShardWorker::scanQuery(const std::vector<Base> &query,
-                       std::vector<u64> &hits) const
-{
-    // Tiny shards are not worth an ExmaTable: scan each segment
-    // directly. A match must fit inside one segment, which the
-    // per-segment search range enforces by construction; segments
-    // ascend in both coordinate spaces, so hits come out sorted.
-    for (const TextSegment &seg : *segments_) {
-        if (seg.length < query.size())
-            continue;
-        const auto begin =
-            scan_ref_->begin() + static_cast<std::ptrdiff_t>(seg.local_begin);
-        const auto end = begin + static_cast<std::ptrdiff_t>(seg.length);
-        for (auto it = std::search(begin, end, query.begin(), query.end());
-             it != end;
-             it = std::search(it + 1, end, query.begin(), query.end()))
-            hits.push_back(seg.global_begin + static_cast<u64>(it - begin));
-    }
+    return serveShardRequest(state_, req, [this] {
+        heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    });
 }
 
 } // namespace exma

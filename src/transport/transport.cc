@@ -1,0 +1,24 @@
+#include "transport/transport.hh"
+
+namespace exma {
+
+u64
+responseCanary(const WorkerResponse &r)
+{
+    u64 h = 14695981039346656037ULL; // FNV-1a offset basis
+    const auto mix = [&h](u64 v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    mix(r.ids.size());
+    for (const u32 id : r.ids)
+        mix(id);
+    for (const auto &hits : r.hits) {
+        mix(hits.size());
+        for (const u64 pos : hits)
+            mix(pos);
+    }
+    return h;
+}
+
+} // namespace exma

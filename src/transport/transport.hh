@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The transport-agnostic worker seam. A Transport is one replica's
+ * endpoint: submit a WorkerRequest, get a future that always resolves
+ * with a typed WorkerResponse — Ok, Failed (the worker's compute
+ * threw; the message rides along), or WorkerDown (the worker died or
+ * was destroyed before serving it). Failures are data, not
+ * exceptions, and a future obtained from submit() is never abandoned
+ * to std::future_error.
+ *
+ * Two implementations exist: ShardWorker (the in-process inbox +
+ * dedicated thread — the default, and the differential oracle) and
+ * SocketTransport (a spawned exma-worker child process behind a Unix
+ * socket speaking length-prefixed canary-stamped frames). ReplicaSet,
+ * WorkerSupervisor and ShardRouter only ever talk through this
+ * interface, so the process boundary is a construction-time choice,
+ * not a routing-code fork.
+ *
+ * The liveness surface (inboxDepth / heartbeat / processed / isDead /
+ * kill) is part of the interface because the failover tier is built
+ * on it: power-of-two-choices reads inboxDepth, the supervisor reads
+ * heartbeat, and kill() is the one idempotent crash switch every
+ * layer (supervisor, router reap path, tests) may pull.
+ */
+
+#ifndef EXMA_TRANSPORT_TRANSPORT_HH
+#define EXMA_TRANSPORT_TRANSPORT_HH
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "batch/batch_searcher.hh"
+#include "common/search_stats.hh"
+#include "common/types.hh"
+#include "transport/query_batch.hh"
+
+namespace exma {
+
+/** One unit of worker work: serve the batch with these knobs. */
+struct WorkerRequest
+{
+    /** The queries to serve plus their router-side ids. */
+    QueryBatchView batch;
+    /** Per-request search knobs (threads are forced to 1: the
+     *  worker's parallelism is the worker, cross-shard). */
+    BatchConfig cfg;
+};
+
+enum class WorkerStatus : u8 {
+    Ok,         ///< hits are valid (canary-checkable)
+    Failed,     ///< worker compute threw; error holds the message
+    WorkerDown, ///< worker died/destroyed before serving this
+};
+
+/** Outcome, index-aligned with the request's batch ids. */
+struct WorkerResponse
+{
+    WorkerStatus status = WorkerStatus::Ok;
+    std::string error; ///< diagnostic for Failed / WorkerDown
+    std::vector<u32> ids;
+    /** Global match positions per id, sorted ascending. Within one
+     *  shard a global position occurs at most once (segment maps
+     *  never overlap themselves), so no per-shard dedup is run. */
+    std::vector<std::vector<u64>> hits;
+    /** Integrity stamp over ids+hits (responseCanary); the router
+     *  recomputes it and discards mismatching responses the way it
+     *  would a failed checksum on a wire transport. */
+    u64 canary = 0;
+    SearchStats stats;
+    double seconds = 0.0; ///< worker-side wall clock for the batch
+
+    bool ok() const { return status == WorkerStatus::Ok; }
+};
+
+/** The integrity stamp WorkerResponse::canary carries (FNV-1a). */
+u64 responseCanary(const WorkerResponse &r);
+
+/** One replica endpoint; see file comment for the contract. */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /**
+     * Enqueue a request; the future resolves when the replica has
+     * served it. Requests are served in submission order. Never
+     * blocks; submitting to a dead replica resolves immediately with
+     * WorkerDown.
+     */
+    virtual std::future<WorkerResponse> submit(WorkerRequest req) = 0;
+
+    /**
+     * Put the replica down: mark dead, interrupt whatever it is
+     * doing, and resolve every queued request with WorkerDown.
+     * Idempotent — the supervisor and the router's reap path may call
+     * it repeatedly on an already-dead replica.
+     */
+    virtual void kill() = 0;
+
+    virtual bool isDead() const = 0;
+
+    /** Queued + in-flight requests — the power-of-two-choices load
+     *  signal. */
+    virtual u64 inboxDepth() const = 0;
+
+    /** Liveness counter: ticks on dequeue and per processed chunk. A
+     *  replica with inboxDepth() > 0 and a frozen heartbeat is hung. */
+    virtual u64 heartbeat() const = 0;
+
+    /** Requests served to completion (Ok or Failed; monotonic). */
+    virtual u64 processed() const = 0;
+
+    /** Stable replica name; also the fault-injection site. */
+    virtual const std::string &name() const = 0;
+
+    virtual bool hasTable() const = 0;
+    virtual bool isEmpty() const = 0;
+};
+
+} // namespace exma
+
+#endif // EXMA_TRANSPORT_TRANSPORT_HH

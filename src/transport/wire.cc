@@ -1,0 +1,400 @@
+#include "transport/wire.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace exma {
+namespace {
+
+// Serialized wire PODs (see ondisk-pod-assert): layouts are frozen in
+// src/io/format_abi.lock; a drift here is a router/worker wire break.
+static_assert(sizeof(FrameHeader) == 32, "wire ABI drift");
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+static_assert(sizeof(WireRequestHead) == 24, "wire ABI drift");
+static_assert(std::is_trivially_copyable_v<WireRequestHead>);
+static_assert(sizeof(WireResponseHead) == 64, "wire ABI drift");
+static_assert(std::is_trivially_copyable_v<WireResponseHead>);
+
+/** Append-only body builder; PODs are byte-copied little-endian. */
+class WireWriter
+{
+  public:
+    template <typename T>
+    void putPod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        putRaw(&v, sizeof(T));
+    }
+
+    void putU32(u32 v) { putRaw(&v, sizeof v); }
+    void putU64(u64 v) { putRaw(&v, sizeof v); }
+    void putBytes(const void *p, size_t n) { putRaw(p, n); }
+
+    std::vector<u8> take() { return std::move(buf_); }
+
+  private:
+    void putRaw(const void *p, size_t n)
+    {
+        const u8 *b = static_cast<const u8 *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    std::vector<u8> buf_;
+};
+
+/**
+ * Bounds-checked body cursor: every get validates against the bytes
+ * actually present before touching them, so a corrupt length can
+ * never over-read. All failures throw TransportError with the body
+ * offset where decoding stopped.
+ */
+class WireReader
+{
+  public:
+    WireReader(std::span<const u8> body, int fd) : body_(body), fd_(fd) {}
+
+    template <typename T>
+    T getPod(const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        getRaw(&v, sizeof(T), what);
+        return v;
+    }
+
+    u32 getU32(const char *what)
+    {
+        u32 v;
+        getRaw(&v, sizeof v, what);
+        return v;
+    }
+
+    u64 getU64(const char *what)
+    {
+        u64 v;
+        getRaw(&v, sizeof v, what);
+        return v;
+    }
+
+    std::span<const u8> getBytes(u64 n, const char *what)
+    {
+        need(n, what);
+        const auto s = body_.subspan(pos_, n);
+        pos_ += n;
+        return s;
+    }
+
+    u64 remaining() const { return body_.size() - pos_; }
+    u64 pos() const { return pos_; }
+
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        throw TransportError(msg, fd_, pos_);
+    }
+
+    void finish(const char *what) const
+    {
+        if (pos_ != body_.size())
+            fail(std::string(what) + ": " + std::to_string(remaining()) +
+                 " trailing bytes");
+    }
+
+  private:
+    void need(u64 n, const char *what) const
+    {
+        // pos_ <= size always holds, so the subtraction cannot wrap.
+        if (n > body_.size() - pos_)
+            fail(std::string(what) + ": needs " + std::to_string(n) +
+                 " bytes, " + std::to_string(remaining()) + " left");
+    }
+
+    void getRaw(void *out, size_t n, const char *what)
+    {
+        need(n, what);
+        std::memcpy(out, body_.data() + pos_, n);
+        pos_ += n;
+    }
+
+    std::span<const u8> body_;
+    u64 pos_ = 0;
+    int fd_;
+};
+
+void
+readFully(int fd, void *buf, size_t n, u64 frame_offset, const char *what,
+          bool *clean_eof)
+{
+    u8 *p = static_cast<u8 *>(buf);
+    size_t got = 0;
+    while (got < n) {
+        const ssize_t rc = ::read(fd, p + got, n - got);
+        if (rc == 0) {
+            if (clean_eof && got == 0) {
+                *clean_eof = true;
+                return;
+            }
+            throw TransportError(std::string(what) + ": peer closed after " +
+                                     std::to_string(got) + " of " +
+                                     std::to_string(n) + " bytes",
+                                 fd, frame_offset + got);
+        }
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw TransportError(std::string(what) + ": read failed: " +
+                                     std::strerror(errno),
+                                 fd, frame_offset + got);
+        }
+        got += static_cast<size_t>(rc);
+    }
+}
+
+void
+writeFully(int fd, const void *buf, size_t n, u64 frame_offset,
+           const char *what)
+{
+    const u8 *p = static_cast<const u8 *>(buf);
+    size_t put = 0;
+    while (put < n) {
+        const ssize_t rc = ::write(fd, p + put, n - put);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw TransportError(std::string(what) + ": write failed: " +
+                                     std::strerror(errno),
+                                 fd, frame_offset + put);
+        }
+        put += static_cast<size_t>(rc);
+    }
+}
+
+} // namespace
+
+std::vector<u8>
+encodeRequest(const WorkerRequest &req)
+{
+    WireWriter w;
+    WireRequestHead head;
+    exma_assert(req.batch.size() <= ~u32{0},
+                "request batch of %zu queries is too large to frame",
+                req.batch.size());
+    head.n_queries = static_cast<u32>(req.batch.size());
+    head.grain = req.cfg.grain;
+    head.total_bases = req.batch.totalBases();
+    w.putPod<WireRequestHead>(head);
+    for (size_t j = 0; j < req.batch.size(); ++j) {
+        const std::vector<Base> &q = req.batch.query(j);
+        exma_assert(q.size() <= ~u32{0},
+                    "query of %zu bases is too long to frame", q.size());
+        w.putU32(req.batch.ids()[j]);
+        w.putU32(static_cast<u32>(q.size()));
+        u64 word = 0;
+        for (size_t i = 0; i < q.size(); ++i) {
+            exma_assert(q[i] <= 3,
+                        "query base %u is not 2-bit-packable",
+                        (unsigned)q[i]);
+            word |= u64{q[i]} << ((i & 31) * 2);
+            if ((i & 31) == 31) {
+                w.putU64(word);
+                word = 0;
+            }
+        }
+        if ((q.size() & 31) != 0)
+            w.putU64(word);
+    }
+    return w.take();
+}
+
+WorkerRequest
+decodeRequest(std::span<const u8> body, int fd)
+{
+    WireReader r(body, fd);
+    const auto head = r.getPod<WireRequestHead>("request head");
+    // Every query costs at least 8 body bytes (id + length); refuse a
+    // count the frame cannot possibly hold before any allocation.
+    if (u64{head.n_queries} * 8 > r.remaining())
+        r.fail("request head claims " + std::to_string(head.n_queries) +
+               " queries; the frame cannot hold them");
+    std::vector<std::vector<Base>> queries(head.n_queries);
+    std::vector<u32> ids(head.n_queries);
+    u64 total_bases = 0;
+    for (u32 j = 0; j < head.n_queries; ++j) {
+        ids[j] = r.getU32("query id");
+        const u32 n = r.getU32("query length");
+        const u64 n_words = (u64{n} + 31) / 32;
+        if (n_words * 8 > r.remaining())
+            r.fail("query of " + std::to_string(n) +
+                   " bases overruns the frame");
+        std::vector<Base> &q = queries[j];
+        q.resize(n);
+        for (u64 wi = 0; wi < n_words; ++wi) {
+            const u64 word = r.getU64("packed query word");
+            const u64 base0 = wi * 32;
+            const u64 limit = std::min<u64>(32, u64{n} - base0);
+            for (u64 k = 0; k < limit; ++k)
+                q[base0 + k] = static_cast<Base>((word >> (k * 2)) & 3);
+        }
+        total_bases += n;
+    }
+    if (total_bases != head.total_bases)
+        r.fail("request base-count mismatch: head says " +
+               std::to_string(head.total_bases) + ", queries carry " +
+               std::to_string(total_bases));
+    r.finish("request body");
+    WorkerRequest req;
+    req.batch = QueryBatchView::own(std::move(queries), std::move(ids));
+    req.cfg.grain = head.grain;
+    return req;
+}
+
+std::vector<u8>
+encodeResponse(const WorkerResponse &resp)
+{
+    WireWriter w;
+    WireResponseHead head;
+    head.status = static_cast<u32>(resp.status);
+    exma_assert(resp.ids.size() <= ~u32{0},
+                "response carries %zu ids — too many to frame",
+                resp.ids.size());
+    head.n_ids = static_cast<u32>(resp.ids.size());
+    head.canary = resp.canary;
+    head.seconds = resp.seconds;
+    head.stats = resp.stats;
+    w.putPod<WireResponseHead>(head);
+    // Length-prefixed and capped both ways: the decoder refuses
+    // anything larger, so truncate at the source too.
+    const size_t err_len =
+        std::min<size_t>(resp.error.size(), kMaxErrorBytes);
+    w.putU32(static_cast<u32>(err_len));
+    w.putBytes(resp.error.data(), err_len);
+    for (const u32 id : resp.ids)
+        w.putU32(id);
+    exma_assert(resp.hits.size() <= ~u32{0},
+                "response carries %zu hit rows — too many to frame",
+                resp.hits.size());
+    w.putU32(static_cast<u32>(resp.hits.size()));
+    for (const auto &row : resp.hits) {
+        w.putU64(row.size());
+        for (const u64 pos : row)
+            w.putU64(pos);
+    }
+    return w.take();
+}
+
+WorkerResponse
+decodeResponse(std::span<const u8> body, int fd)
+{
+    WireReader r(body, fd);
+    const auto head = r.getPod<WireResponseHead>("response head");
+    if (head.status > static_cast<u32>(WorkerStatus::WorkerDown))
+        r.fail("response status " + std::to_string(head.status) +
+               " is not a WorkerStatus");
+    WorkerResponse resp;
+    resp.status = static_cast<WorkerStatus>(head.status);
+    resp.canary = head.canary;
+    resp.seconds = head.seconds;
+    resp.stats = head.stats;
+    const u32 err_len = r.getU32("error length");
+    if (err_len > kMaxErrorBytes)
+        r.fail("error string of " + std::to_string(err_len) +
+               " bytes exceeds the " + std::to_string(kMaxErrorBytes) +
+               "-byte cap");
+    const std::span<const u8> err = r.getBytes(err_len, "error string");
+    resp.error.assign(reinterpret_cast<const char *>(err.data()),
+                      err.size());
+    if (u64{head.n_ids} * 4 > r.remaining())
+        r.fail("response head claims " + std::to_string(head.n_ids) +
+               " ids; the frame cannot hold them");
+    resp.ids.resize(head.n_ids);
+    for (u32 j = 0; j < head.n_ids; ++j)
+        resp.ids[j] = r.getU32("response id");
+    const u32 n_rows = r.getU32("hit row count");
+    if (u64{n_rows} * 8 > r.remaining())
+        r.fail("response claims " + std::to_string(n_rows) +
+               " hit rows; the frame cannot hold them");
+    resp.hits.resize(n_rows);
+    for (u32 j = 0; j < n_rows; ++j) {
+        const u64 n_hits = r.getU64("hit count");
+        if (n_hits > r.remaining() / 8)
+            r.fail("hit row of " + std::to_string(n_hits) +
+                   " positions overruns the frame");
+        resp.hits[j].resize(n_hits);
+        for (u64 k = 0; k < n_hits; ++k)
+            resp.hits[j][k] = r.getU64("hit position");
+    }
+    r.finish("response body");
+    return resp;
+}
+
+bool
+readFrame(int fd, WireFrame &out)
+{
+    bool clean_eof = false;
+    out.header = FrameHeader{};
+    readFully(fd, &out.header, sizeof(FrameHeader), 0, "frame header",
+              &clean_eof);
+    if (clean_eof)
+        return false;
+    const FrameHeader &h = out.header;
+    if (std::memcmp(h.magic, "EXMF", 4) != 0)
+        throw TransportError("bad frame magic", fd, 0);
+    if (h.version != kFormatVersion)
+        throw TransportError("frame version " + std::to_string(h.version) +
+                                 " != built " +
+                                 std::to_string(kFormatVersion) +
+                                 " (router/worker binary skew)",
+                             fd, offsetof(FrameHeader, version));
+    if (h.type < kFrameRequest || h.type > kFrameHeartbeat)
+        throw TransportError("unknown frame type " + std::to_string(h.type),
+                             fd, offsetof(FrameHeader, type));
+    if (h.body_bytes > kMaxFrameBytes)
+        throw TransportError("frame body of " +
+                                 std::to_string(h.body_bytes) +
+                                 " bytes exceeds the cap",
+                             fd, offsetof(FrameHeader, body_bytes));
+    out.body.resize(h.body_bytes);
+    if (h.body_bytes)
+        readFully(fd, out.body.data(), out.body.size(),
+                  sizeof(FrameHeader), "frame body", nullptr);
+    if (fnv1a(std::span<const u8>(out.body)) != h.canary)
+        throw TransportError("frame canary mismatch", fd,
+                             sizeof(FrameHeader));
+    return true;
+}
+
+void
+writeFrame(int fd, u16 type, u32 seq, std::span<const u8> body)
+{
+    exma_assert(body.size() <= kMaxFrameBytes,
+                "frame body of %zu bytes exceeds the cap", body.size());
+    FrameHeader h;
+    h.type = type;
+    h.seq = seq;
+    h.body_bytes = body.size();
+    h.canary = fnv1a(body);
+    writeFully(fd, &h, sizeof h, 0, "frame header");
+    if (!body.empty())
+        writeFully(fd, body.data(), body.size(), sizeof h, "frame body");
+}
+
+void
+ignoreSigpipe()
+{
+    // A write to a dead peer must surface as EPIPE -> TransportError,
+    // not kill the process. Thread-safe via the magic static.
+    static const bool installed = [] {
+        std::signal(SIGPIPE, SIG_IGN);
+        return true;
+    }();
+    (void)installed;
+}
+
+} // namespace exma

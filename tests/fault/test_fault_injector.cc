@@ -14,7 +14,7 @@
 #include "common/rng.hh"
 #include "fault/fault_injector.hh"
 #include "genome/reference.hh"
-#include "io/index_io.hh"
+#include "persist/index_io.hh"
 #include "io/mapped_file.hh"
 
 namespace exma {

@@ -14,7 +14,7 @@
 
 #include "common/rng.hh"
 #include "genome/reference.hh"
-#include "io/index_io.hh"
+#include "persist/index_io.hh"
 
 namespace exma {
 namespace {

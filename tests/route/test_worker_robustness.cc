@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "fault/fault_injector.hh"
-#include "route/shard_worker.hh"
+#include "transport/shard_worker.hh"
 
 namespace exma {
 namespace {
@@ -33,9 +33,10 @@ ShardWorker::Request
 requestFor(const std::vector<std::vector<Base>> &queries)
 {
     ShardWorker::Request req;
-    req.queries = &queries;
+    std::vector<u32> ids;
     for (u32 i = 0; i < queries.size(); ++i)
-        req.ids.push_back(i);
+        ids.push_back(i);
+    req.batch = QueryBatchView::borrow(queries, std::move(ids));
     return req;
 }
 

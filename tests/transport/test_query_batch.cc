@@ -1,0 +1,104 @@
+// QueryBatchView: the owned-or-borrowed query payload of a worker
+// request. Both modes must present the same shape — query(j) is the
+// j-th served query, ids()[j] its router-side id — and the
+// storage()/storageIds() pair must feed BatchSearcher's routed
+// overload identically in either mode.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "transport/query_batch.hh"
+
+namespace exma {
+namespace {
+
+std::vector<std::vector<Base>>
+sampleBatch()
+{
+    return {{0, 1, 2, 3}, {1, 1}, {2}, {3, 0}};
+}
+
+TEST(QueryBatch, DefaultConstructedIsEmpty)
+{
+    const QueryBatchView v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_TRUE(v.ids().empty());
+    EXPECT_TRUE(v.storage().empty());
+    EXPECT_TRUE(v.storageIds().empty());
+    EXPECT_EQ(v.totalBases(), 0u);
+}
+
+TEST(QueryBatch, BorrowServesSubsetThroughIds)
+{
+    const auto batch = sampleBatch();
+    const QueryBatchView v = QueryBatchView::borrow(batch, {3, 1});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_FALSE(v.empty());
+    // query(j) maps through ids: the worker serves batch[3], batch[1].
+    EXPECT_EQ(v.query(0), batch[3]);
+    EXPECT_EQ(v.query(1), batch[1]);
+    EXPECT_EQ(v.ids(), (std::vector<u32>{3, 1}));
+    // Zero-copy: storage IS the router's batch.
+    EXPECT_EQ(&v.storage(), &batch);
+    EXPECT_EQ(v.storageIds(), v.ids());
+    EXPECT_EQ(v.totalBases(), batch[3].size() + batch[1].size());
+}
+
+TEST(QueryBatch, OwnHoldsQueriesAndEchoesIds)
+{
+    std::vector<std::vector<Base>> queries = {{2, 2, 2}, {0}};
+    const QueryBatchView v =
+        QueryBatchView::own(std::move(queries), {7, 42});
+    ASSERT_EQ(v.size(), 2u);
+    // Ids are an echo for the router-side scatter; they do NOT index
+    // the owned storage.
+    EXPECT_EQ(v.query(0), (std::vector<Base>{2, 2, 2}));
+    EXPECT_EQ(v.query(1), (std::vector<Base>{0}));
+    EXPECT_EQ(v.ids(), (std::vector<u32>{7, 42}));
+    // The storage pair indexes the owned queries positionally.
+    EXPECT_EQ(v.storage().size(), 2u);
+    EXPECT_EQ(v.storageIds(), (std::vector<u32>{0, 1}));
+    EXPECT_EQ(v.totalBases(), 4u);
+}
+
+TEST(QueryBatch, BorrowAndOwnPresentIdenticalViews)
+{
+    const auto batch = sampleBatch();
+    const std::vector<u32> ids = {2, 0, 3};
+    const QueryBatchView b = QueryBatchView::borrow(batch, ids);
+    std::vector<std::vector<Base>> copies;
+    for (const u32 id : ids)
+        copies.push_back(batch[id]);
+    const QueryBatchView o = QueryBatchView::own(std::move(copies), ids);
+
+    ASSERT_EQ(b.size(), o.size());
+    EXPECT_EQ(b.ids(), o.ids());
+    EXPECT_EQ(b.totalBases(), o.totalBases());
+    for (size_t j = 0; j < b.size(); ++j) {
+        EXPECT_EQ(b.query(j), o.query(j)) << "query " << j;
+        EXPECT_EQ(b.storage()[b.storageIds()[j]],
+                  o.storage()[o.storageIds()[j]])
+            << "storage view " << j;
+    }
+}
+
+TEST(QueryBatch, ViewsSurviveCopyAndMove)
+{
+    const auto batch = sampleBatch();
+    QueryBatchView v = QueryBatchView::borrow(batch, {1, 2});
+    const QueryBatchView copy = v;
+    const QueryBatchView moved = std::move(v);
+    EXPECT_EQ(copy.query(0), batch[1]);
+    EXPECT_EQ(moved.query(1), batch[2]);
+
+    QueryBatchView o = QueryBatchView::own({{3, 3}}, {9});
+    const QueryBatchView omoved = std::move(o);
+    EXPECT_EQ(omoved.query(0), (std::vector<Base>{3, 3}));
+    EXPECT_EQ(omoved.ids(), (std::vector<u32>{9}));
+}
+
+} // namespace
+} // namespace exma

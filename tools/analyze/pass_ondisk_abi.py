@@ -2,8 +2,10 @@
 
 PR 7's static_asserts pin sizeof per POD; this pass upgrades that to
 an offset-exact golden file. It collects every type spelled at a
-`writeArray<T>` / `viewArray<T>` call site (plus FileHeader /
-SectionEntry, plus records embedded in locked records), generates a
+`writeArray<T>` / `viewArray<T>` call site — and, for the wire frames
+the transport layer sends between router and worker processes, at
+`putPod<T>` / `getPod<T>` sites — plus FileHeader / SectionEntry and
+records embedded in locked records, generates a
 probe program printing `sizeof` / `alignof` / `offsetof` for each with
 the *project's own compiler and flags*, and compares the output to the
 committed `src/io/format_abi.lock`:
@@ -30,10 +32,14 @@ from ir import Finding
 
 PASS = "ondisk-abi"
 
-SPELL_RE = re.compile(r"(?:writeArray|viewArray)\s*<\s*([\w:]+)\s*>")
+SPELL_RE = re.compile(
+    r"(?:writeArray|viewArray|putPod|getPod)\s*<\s*([\w:]+)\s*>")
 VERSION_RE = re.compile(r"kFormatVersion\s*=\s*(\d+)")
 
-ALWAYS_LOCKED = ("FileHeader", "SectionEntry")
+# FrameHeader is written/read with raw writeFully/readFully rather
+# than a spelled putPod site, so it is pinned here: router and worker
+# are separate binaries and the frame preamble is their ABI.
+ALWAYS_LOCKED = ("FileHeader", "SectionEntry", "FrameHeader")
 SCALARS = {"u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"}
 
 LOCK_REL = os.path.join("src", "io", "format_abi.lock")

@@ -326,6 +326,7 @@ FUTURE_WAIT_WINDOW = 8
 FUTURE_GET_SCAN_DIRS = (
     os.path.join("src", "route"),
     os.path.join("src", "fault"),
+    os.path.join("src", "transport"),
 )
 
 
@@ -392,10 +393,13 @@ def check_mutex_annotations(root):
 # --------------------------------------------------------------------------
 
 # An explicit-template writeArray/viewArray call names the element type
-# that hits the disk; the definitions in src/io/format.hh take the type
-# from a deduced span and never match this pattern.
+# that hits the disk — and an explicit putPod/getPod names a type that
+# crosses the router/worker process boundary in a wire frame; the
+# definitions in src/io/format.hh and src/transport/wire.cc take the
+# type from a deduced argument and never match this pattern.
 ONDISK_CALL_RE = re.compile(
-    r"\b(?:writeArray|viewArray)\s*<\s*([A-Za-z_]\w*(?:::\w+)*)\s*>")
+    r"\b(?:writeArray|viewArray|putPod|getPod)"
+    r"\s*<\s*([A-Za-z_]\w*(?:::\w+)*)\s*>")
 
 ONDISK_SCAN_DIRS = ("src", "tests", "tools", "bench")
 
